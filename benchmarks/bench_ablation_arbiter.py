@@ -1,0 +1,56 @@
+"""Ablation — arbiter structure: base width and flat-vs-tree trade-off.
+
+DESIGN.md calls out the tree base width as a design choice; this sweep
+shows the timing/area Pareto the paper's 8 %-overhead point sits on.
+"""
+
+import pytest
+
+from repro.arbiter.analysis import analyze
+
+
+def sweep_base_widths():
+    results = {}
+    for base_width in (16, 32, 64, 128):
+        tree = base_width < 128
+        results[base_width] = analyze(128, 4, tree=tree, base_width=base_width)
+    return results
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_arbiter_base_width_ablation(benchmark):
+    results = benchmark(sweep_base_widths)
+    flat = results[128]
+    print()
+    print("arbiter base-width ablation (128-wide, 4-port):")
+    for base_width, report in sorted(results.items()):
+        overhead = report.area_ge / flat.area_ge - 1.0
+        label = "flat" if base_width == 128 else f"tree/{base_width}"
+        print(
+            f"  {label:9s}: path {report.critical_path_ps:6.0f} ps, "
+            f"area {report.area_ge:6.0f} GE ({overhead * +100:+.1f}%)"
+        )
+    # Narrower bases are faster but cost more gating area.
+    assert results[16].critical_path_ps < results[64].critical_path_ps
+    assert results[16].area_ge > results[64].area_ge
+    # Every tree beats the flat arbiter on timing.
+    for base_width in (16, 32, 64):
+        assert results[base_width].critical_path_ps < flat.critical_path_ps
+
+
+def sweep_widths():
+    return {
+        width: analyze(width, 4, tree=width > 64)
+        for width in (32, 64, 128)
+    }
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_arbiter_width_scaling(benchmark):
+    results = benchmark(sweep_widths)
+    print()
+    print("arbiter width scaling (4-port, tree above 64):")
+    for width, report in sorted(results.items()):
+        print(f"  width {width:4d}: path {report.critical_path_ps:6.0f} ps, "
+              f"area {report.area_ge:6.0f} GE")
+    assert results[128].area_ge > results[64].area_ge > results[32].area_ge

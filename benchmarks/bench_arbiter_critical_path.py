@@ -1,0 +1,38 @@
+"""Section 3.3 — arbiter critical path and tree-structure trade-off.
+
+Paper claims: the flat 128-wide 4-port arbiter's critical path exceeds
+1100 ps; the two-level tree cuts it below 800 ps at 8.0 % area overhead;
+the path does not scale with the port count.
+"""
+
+import pytest
+
+from repro.arbiter.analysis import analyze, tree_area_overhead
+
+
+def generate_reports():
+    flat = analyze(128, 4, tree=False)
+    tree = analyze(128, 4, tree=True)
+    per_port = [analyze(128, p, tree=True) for p in (1, 2, 3, 4)]
+    return flat, tree, per_port
+
+
+@pytest.mark.benchmark(group="arbiter")
+def test_arbiter_critical_path(benchmark):
+    flat, tree, per_port = benchmark(generate_reports)
+    overhead = tree_area_overhead(128, 4)
+    print()
+    print("arbiter synthesis results (128-wide, 4-port):")
+    print(f"  flat critical path: {flat.critical_path_ps:.0f} ps (paper: >1100 ps)")
+    print(f"  tree critical path: {tree.critical_path_ps:.0f} ps (paper: <800 ps)")
+    print(f"  tree area overhead: {overhead * 100:.1f}% (paper: 8.0%)")
+    print(f"  flat area: {flat.area_ge:.0f} GE ({flat.gate_count} gates)")
+    print(f"  tree area: {tree.area_ge:.0f} GE ({tree.gate_count} gates)")
+    print("  tree path per port count: "
+          + ", ".join(f"p={r.ports}: {r.critical_path_ps:.0f} ps"
+                      for r in per_port))
+    assert flat.critical_path_ps > 1100.0
+    assert tree.critical_path_ps < 800.0
+    assert overhead == pytest.approx(0.08, abs=0.015)
+    paths = [r.critical_path_ps for r in per_port]
+    assert max(paths) - min(paths) < 30.0

@@ -1,0 +1,39 @@
+"""Section 4.2 — bitcell layout areas and the 5-port rejection.
+
+Paper reference: standard 6T area 0.01512 um^2; multiport cells
+1.5x / 1.875x / 2.25x / 2.625x larger; a fifth read port would add
+another 87.5 % of the 6T area, which is rejected as area-inefficient.
+"""
+
+import pytest
+
+from repro.sram.bitcell import (
+    ALL_CELLS,
+    AREA_RATIO,
+    bitcell_spec,
+    hypothetical_cell_area_ratio,
+)
+
+
+def generate_areas():
+    return [bitcell_spec(cell) for cell in ALL_CELLS]
+
+
+@pytest.mark.benchmark(group="cell-area")
+def test_cell_areas(benchmark):
+    specs = benchmark(generate_areas)
+    print()
+    print("cell areas (paper ratios: 1.0 / 1.5 / 1.875 / 2.25 / 2.625):")
+    for spec in specs:
+        print(
+            f"  {spec.cell_type.value:8s} {spec.area_um2 * 1e3:.3f} x10^-3 um^2 "
+            f"({spec.area_ratio:.3f}x, {spec.transistor_count}T, "
+            f"{spec.width_um:.3f} x {spec.height_um:.3f} um)"
+        )
+    five = hypothetical_cell_area_ratio(5)
+    print(f"  hypothetical 5th port: {five:.3f}x "
+          f"(+{(five - 2.625) / 1.0 * 100:.1f}% of 6T -> rejected)")
+    assert specs[0].area_um2 == pytest.approx(0.01512)
+    for spec in specs:
+        assert spec.area_ratio == pytest.approx(AREA_RATIO[spec.cell_type])
+    assert five - 2.625 == pytest.approx(0.875)

@@ -1,0 +1,38 @@
+"""Figure 6 — transposed-port write/read time and energy per cell.
+
+Paper reference (section 4.2 + 4.4.1 anchors): the 6T array performs a
+full read+write sweep in 2x128 cycles / 257.8 ns / 157 pJ; the 1RW+4R
+cell reads a column in 9.9 ns and writes it in 8.04 ns; write costs
+scale faster than read costs with added ports.
+"""
+
+import pytest
+
+from repro.sram.bitcell import CellType
+from repro.sram.electrical import TransposedPortModel
+from repro.system.report import render_figure6
+
+
+def generate_figure6():
+    model = TransposedPortModel()
+    return model, model.figure6()
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_fig6_transposed_port(benchmark):
+    model, points = benchmark(generate_figure6)
+    print()
+    print(render_figure6(points))
+    baseline = model.full_array_update_cost(CellType.C6T)
+    best = model.column_update_cost(CellType.C1RW4R)
+    print(
+        f"paper: 6T full array 257.8 ns / 157 pJ    "
+        f"measured: {baseline.total_time_ns:.1f} ns / {baseline.energy_pj:.1f} pJ"
+    )
+    print(
+        f"paper: 4R column read 9.9 ns, write 8.04 ns    "
+        f"measured: {best.read_time_ns:.2f} ns, {best.write_time_ns:.2f} ns"
+    )
+    # Regression guards on the anchors.
+    assert baseline.total_time_ns == pytest.approx(257.8, rel=1e-3)
+    assert best.read_time_ns == pytest.approx(9.9, rel=1e-3)

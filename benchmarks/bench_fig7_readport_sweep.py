@@ -1,0 +1,45 @@
+"""Figure 7 — average access energy/time vs ports and Vprech.
+
+Paper claims (section 4.2): Vprech = 500 mV cuts read energy by >=43 %
+at <=19 % access-time cost vs 700 mV; 400 mV saves up to 10 % more on
+1-2-port cells but *increases* energy on 3-4-port cells (slow
+precharge); average access energy rises after the fourth port.
+"""
+
+import pytest
+
+from repro.sram.bitcell import CellType
+from repro.sram.readport import ReadPortModel
+from repro.system.report import render_figure7
+
+
+def generate_figure7():
+    model = ReadPortModel()
+    return model, model.figure7()
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_fig7_readport_sweep(benchmark):
+    model, points = benchmark(generate_figure7)
+    print()
+    print(render_figure7(points))
+    print("claim checks (paper -> measured):")
+    for ports in (1, 2, 3, 4):
+        cell = CellType.from_ports(ports)
+        e5 = model.operating_point(cell, 0.5)
+        e7 = model.operating_point(cell, 0.7)
+        e4 = model.operating_point(cell, 0.4)
+        saving = 1.0 - e5.avg_access_energy_pj / e7.avg_access_energy_pj
+        slowdown = e5.avg_access_time_ns / e7.avg_access_time_ns - 1.0
+        delta400 = e4.avg_access_energy_pj / e5.avg_access_energy_pj - 1.0
+        print(
+            f"  {ports} port(s): 500mV saves {saving * 100:.1f}% "
+            f"(>=43%), costs +{slowdown * 100:.1f}% time (<=19%), "
+            f"400mV changes energy by {delta400 * 100:+.1f}%"
+        )
+        assert saving >= 0.43
+        assert slowdown <= 0.19
+        if ports <= 2:
+            assert delta400 < 0.0
+        else:
+            assert delta400 > 0.0

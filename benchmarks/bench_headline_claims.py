@@ -1,0 +1,33 @@
+"""Abstract / section 4.4.2 headline claims.
+
+Paper: 3.1x speed and 2.2x energy efficiency vs the single-port design;
+44 MInf/s at 607 pJ/Inf and 29 mW; 97.64 % classification accuracy
+(MNIST — here measured on the synthetic-digit substitute).
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="headline")
+def test_headline_claims(benchmark, evaluator):
+    claims = benchmark.pedantic(
+        evaluator.headline_claims, rounds=1, iterations=1
+    )
+    print()
+    print("headline claims (paper -> measured):")
+    print(f"  speedup vs 1RW:        3.1x  -> {claims.speedup_vs_1rw:.2f}x")
+    print(f"  energy efficiency:     2.2x  -> "
+          f"{claims.energy_efficiency_vs_1rw:.2f}x")
+    print(f"  throughput:         44 MInf/s -> "
+          f"{claims.throughput_minf_s:.1f} MInf/s")
+    print(f"  energy/inference:    607 pJ  -> {claims.energy_per_inf_pj:.0f} pJ")
+    print(f"  power:                29 mW  -> {claims.power_mw:.1f} mW")
+    print(f"  area vs 1RW:          2.4x   -> {claims.area_ratio_vs_1rw:.2f}x")
+    print(f"  accuracy:           97.64%*  -> {claims.accuracy * 100:.2f}%  "
+          "(*paper: MNIST; here: synthetic digits)")
+    assert claims.speedup_vs_1rw == pytest.approx(3.1, abs=0.4)
+    assert claims.energy_efficiency_vs_1rw == pytest.approx(2.2, abs=0.35)
+    assert claims.throughput_minf_s == pytest.approx(44.0, rel=0.15)
+    assert claims.energy_per_inf_pj == pytest.approx(607.0, rel=0.15)
+    assert claims.power_mw == pytest.approx(29.0, rel=0.15)
+    assert claims.accuracy > 0.95

@@ -1,0 +1,35 @@
+"""Performance of the simulator itself (not a paper figure).
+
+Keeps the spike-by-spike simulator honest as the codebase grows: one
+full-network inference and one functional-model batch must stay fast
+enough for the system sweeps to be practical.
+"""
+
+import pytest
+
+from repro.snn.encode import encode_images
+from repro.sram.bitcell import CellType
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_cycle_accurate_inference_speed(benchmark, evaluator, reference_model):
+    net = evaluator.build_network(CellType.C1RW4R)
+    spikes = encode_images(reference_model.dataset.test_images[0])
+
+    def run():
+        return net.classify(spikes)
+
+    prediction = benchmark(run)
+    assert 0 <= prediction <= 9
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_functional_batch_speed(benchmark, reference_model):
+    model = reference_model.snn.to_model()
+    spikes = encode_images(reference_model.dataset.test_images[:256])
+
+    def run():
+        return model.classify(spikes)
+
+    predictions = benchmark(run)
+    assert predictions.shape == (256,)

@@ -1,0 +1,45 @@
+"""Table 2 — pipeline stage durations and derived clock periods.
+
+Paper reference: arbiter stage ~1.01-1.04 ns flat across cells;
+SRAM+neuron stage 0.69/1.08/1.18/1.14/1.23 ns; the longer stage sets
+the clock (1RW+4R runs at ~810 MHz, Table 3).
+"""
+
+import pytest
+
+from repro.sram.bitcell import ALL_CELLS, CellType
+from repro.system.report import render_table2
+from repro.tile.pipeline import PipelineModel
+
+PAPER_TABLE2 = {
+    CellType.C6T: (1.01, 0.69),
+    CellType.C1RW1R: (1.01, 1.08),
+    CellType.C1RW2R: (1.04, 1.18),
+    CellType.C1RW3R: (1.03, 1.14),
+    CellType.C1RW4R: (1.01, 1.23),
+}
+
+
+def generate_table2():
+    return PipelineModel().table2()
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_pipeline_stages(benchmark):
+    reports = benchmark(generate_table2)
+    print()
+    print(render_table2(reports))
+    print("paper vs measured (arbiter / sram+neuron, ns):")
+    for report in reports:
+        arb, sram = PAPER_TABLE2[report.cell_type]
+        print(
+            f"  {report.cell_type.value:8s} paper {arb:.2f}/{sram:.2f}  "
+            f"measured {report.arbiter_stage_ns:.2f}/"
+            f"{report.sram_neuron_stage_ns:.2f}"
+        )
+        assert round(report.arbiter_stage_ns, 2) == pytest.approx(arb)
+        assert round(report.sram_neuron_stage_ns, 2) == pytest.approx(sram)
+    by_cell = {r.cell_type: r for r in reports}
+    assert by_cell[CellType.C1RW4R].clock_frequency_mhz == pytest.approx(
+        810.0, rel=2e-3
+    )

@@ -1,0 +1,27 @@
+"""Shared benchmark fixtures.
+
+The benchmarks regenerate every table and figure of the paper's
+evaluation section; each prints a paper-vs-measured comparison so the
+console log doubles as the reproduction record (EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.learning.pretrained import ReferenceModel, get_reference_model
+from repro.system.config import SystemConfig
+from repro.system.evaluate import SystemEvaluator
+
+
+@pytest.fixture(scope="session")
+def reference_model() -> ReferenceModel:
+    """The paper's trained 768:256:256:256:10 network (disk-cached)."""
+    return get_reference_model(quality="full", seed=42)
+
+
+@pytest.fixture(scope="session")
+def evaluator(reference_model) -> SystemEvaluator:
+    """System evaluator over a 32-image cycle-accurate sample."""
+    config = SystemConfig(sample_images=32)
+    return SystemEvaluator(config, quality="full")

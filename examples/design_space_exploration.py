@@ -1,0 +1,52 @@
+"""Design-space exploration: reproduce the paper's evaluation sweeps.
+
+Walks the three design axes the paper explores and prints each table:
+
+1. Figure 6 — transposed-port cost per bitcell flavor;
+2. Figure 7 — precharge-voltage sweep of the decoupled read ports;
+3. Figure 8 — full-system comparison of the five cell options,
+   ending with the headline claims (3.1x speed, 2.2x energy
+   efficiency, 44 MInf/s @ 607 pJ/Inf and 29 mW).
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.sram.electrical import TransposedPortModel
+from repro.sram.readport import ReadPortModel
+from repro.system.config import SystemConfig
+from repro.system.evaluate import SystemEvaluator
+from repro.system.report import (
+    render_figure6,
+    render_figure7,
+    render_figure8,
+    render_table2,
+)
+from repro.tile.pipeline import PipelineModel
+
+
+def main() -> None:
+    print(render_figure6(TransposedPortModel().figure6()))
+    print()
+    print(render_figure7(ReadPortModel().figure7()))
+    print()
+    print(render_table2(PipelineModel().table2()))
+    print()
+
+    print("running the cycle-accurate system sweep (five cell options) ...")
+    evaluator = SystemEvaluator(SystemConfig(sample_images=16), quality="full")
+    rows = evaluator.figure8()
+    print(render_figure8(rows))
+
+    claims = evaluator.headline_claims(rows)
+    print()
+    print("headline claims (paper -> measured):")
+    print(f"  speed vs single-port:  3.1x -> {claims.speedup_vs_1rw:.2f}x")
+    print(f"  energy efficiency:     2.2x -> "
+          f"{claims.energy_efficiency_vs_1rw:.2f}x")
+    print(f"  throughput:       44 MInf/s -> {claims.throughput_minf_s:.1f}")
+    print(f"  energy/inference:    607 pJ -> {claims.energy_per_inf_pj:.0f}")
+    print(f"  power:                29 mW -> {claims.power_mw:.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Multiport spike arbiter (paper section 3.3).
+
+Implements the Fixed Priority Encoder of Figure 4(b/c), the cascaded
+p-port arbiter of Figure 4(a), and the tree-structured variant the paper
+deploys to cut the 128-wide critical path from >1100 ps to <800 ps at
+8.0 % area overhead — plus gate-level netlists for bit-true verification
+and longest-path timing analysis (the Genus-synthesis substitute).
+"""
+
+from repro.arbiter.gates import GateType, Netlist, STD_CELLS
+from repro.arbiter.priority_encoder import (
+    PriorityEncoder,
+    priority_encode,
+    build_flat_encoder_netlist,
+)
+from repro.arbiter.tree import TreePriorityEncoder
+from repro.arbiter.cascaded import MultiPortArbiter, ArbiterGrant
+from repro.arbiter.analysis import (
+    ArbiterTimingReport,
+    critical_path_ps,
+    area_gate_equivalents,
+    tree_area_overhead,
+    arbiter_energy_per_cycle_pj,
+)
+
+__all__ = [
+    "GateType",
+    "Netlist",
+    "STD_CELLS",
+    "PriorityEncoder",
+    "priority_encode",
+    "build_flat_encoder_netlist",
+    "TreePriorityEncoder",
+    "MultiPortArbiter",
+    "ArbiterGrant",
+    "ArbiterTimingReport",
+    "critical_path_ps",
+    "area_gate_equivalents",
+    "tree_area_overhead",
+    "arbiter_energy_per_cycle_pj",
+]

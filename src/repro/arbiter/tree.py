@@ -1,0 +1,161 @@
+"""Tree-structured priority encoder (paper section 3.3, last paragraph).
+
+For arrays wider than ~128 rows, the flat select chain is too slow
+(>1100 ps for the 128-wide 4-port arbiter).  The paper splits the
+request vector across several short *base* priority encoders and
+arbitrates among them with a *higher-level* priority encoder of the same
+structure: the base encoders' ``noR`` outputs form the top-level request
+vector, and the winning base encoder's grant is enabled onto the output.
+
+Functionally the tree is exactly equivalent to the flat encoder
+(leftmost-request-wins); only timing and area differ.  The area cost —
+top-level encoder plus the per-bit enable gating — is the 8.0 % overhead
+the paper quotes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.arbiter.gates import Netlist
+from repro.arbiter.priority_encoder import (
+    REPEATER_INTERVAL,
+    append_flat_encoder,
+    priority_encode,
+)
+
+#: Base-encoder width used for 128-wide arrays.  Two 64-wide base
+#: encoders plus a 2-wide top encoder bring the 4-port critical path
+#: under the paper's 800 ps bound at ~8 % area overhead.
+DEFAULT_BASE_WIDTH = 64
+
+
+def append_tree_encoder(net: Netlist, request_nets: list[str], s0_net: str,
+                        prefix: str, base_width: int,
+                        ) -> tuple[list[str], list[str], str]:
+    """Append one tree-structured encoder to ``net``.
+
+    Returns ``(grant_nets, masked_request_nets, noR_net)`` exactly like
+    :func:`~repro.arbiter.priority_encoder.append_flat_encoder`.
+    """
+    width = len(request_nets)
+    if width % base_width != 0:
+        raise ConfigurationError(
+            f"width {width} must be a multiple of base_width {base_width}"
+        )
+    n_base = width // base_width
+    base_select_nets: list[list[str]] = []
+    base_nor_nets: list[str] = []
+    # Base encoders: independent select chains over each segment.  The
+    # per-bit grant is formed later by a single merged AND3 (request AND
+    # select AND top-grant) — the synthesis-style gate merge that keeps
+    # the tree's area overhead at the paper's 8 %.
+    for b in range(n_base):
+        seg = request_nets[b * base_width:(b + 1) * base_width]
+        s_prev = s0_net
+        selects_b: list[str] = []
+        for k, r in enumerate(seg):
+            if k > 0 and k % REPEATER_INTERVAL == 0:
+                s_prev = net.add_gate("BUF", f"{prefix}_b{b}_srep{k}", s_prev)
+            selects_b.append(s_prev)
+            s_prev = net.add_gate("ANDNOT2", f"{prefix}_b{b}_s{k + 1}", s_prev, r)
+        base_select_nets.append(selects_b)
+        base_nor_nets.append(s_prev)  # base noR = final select bit
+    # Top-level encoder over the base noR flags (request = NOT noR).
+    top_s_prev = s0_net
+    top_grant_nets: list[str] = []
+    for b, nor_net in enumerate(base_nor_nets):
+        req = net.add_gate("INV", f"{prefix}_treq{b}", nor_net)
+        top_grant_nets.append(
+            net.add_gate("AND2", f"{prefix}_tg{b}", req, top_s_prev)
+        )
+        top_s_prev = net.add_gate("ANDNOT2", f"{prefix}_ts{b + 1}", top_s_prev, req)
+    no_r = net.add_gate("BUF", f"{prefix}_noR", top_s_prev)
+    # Merged grant gating and request masking.
+    grants: list[str] = []
+    masked: list[str] = []
+    for b in range(n_base):
+        for k in range(base_width):
+            n = b * base_width + k
+            g = net.add_gate(
+                "AND3", f"{prefix}_g{n}", request_nets[n],
+                base_select_nets[b][k], top_grant_nets[b],
+            )
+            grants.append(g)
+            masked.append(
+                net.add_gate("ANDNOT2", f"{prefix}_rp{n}", request_nets[n], g)
+            )
+    return grants, masked, no_r
+
+
+class TreePriorityEncoder:
+    """Two-level priority encoder: base encoders + top-level arbiter."""
+
+    def __init__(self, width: int, base_width: int = DEFAULT_BASE_WIDTH) -> None:
+        if width < 1:
+            raise ConfigurationError(f"width must be >= 1, got {width}")
+        if base_width < 1:
+            raise ConfigurationError(f"base_width must be >= 1, got {base_width}")
+        if width % base_width != 0:
+            raise ConfigurationError(
+                f"width {width} must be a multiple of base_width {base_width}"
+            )
+        self.width = width
+        self.base_width = base_width
+        self.n_base = width // base_width
+
+    def encode(self, requests: np.ndarray) -> tuple[np.ndarray, np.ndarray, bool]:
+        """Leftmost-request-wins grant, masked remainder, and ``noR``.
+
+        Implemented exactly as the hardware does: each base encoder
+        produces a candidate grant and its ``noR``; the top encoder
+        selects the leftmost base with a pending request; only that
+        base's grant is enabled.
+        """
+        r = np.asarray(requests).astype(bool)
+        if r.shape != (self.width,):
+            raise ConfigurationError(
+                f"request vector shape {r.shape} != ({self.width},)"
+            )
+        base_grants = []
+        base_no_r = np.zeros(self.n_base, dtype=bool)
+        for b in range(self.n_base):
+            segment = r[b * self.base_width:(b + 1) * self.base_width]
+            grant_b, _, no_r_b = priority_encode(segment)
+            base_grants.append(grant_b)
+            base_no_r[b] = no_r_b
+        top_requests = ~base_no_r
+        top_grant, _, no_r = priority_encode(top_requests)
+        grant = np.zeros(self.width, dtype=bool)
+        if not no_r:
+            winner = int(np.flatnonzero(top_grant)[0])
+            start = winner * self.base_width
+            grant[start:start + self.base_width] = base_grants[winner]
+        remaining = r & ~grant
+        return grant, remaining, bool(no_r)
+
+    def build_netlist(self, prefix: str = "tpe") -> Netlist:
+        """Gate-level netlist of the full tree (verification + timing)."""
+        net = Netlist(f"{prefix}_tree{self.width}x{self.base_width}")
+        s0 = net.add_input(f"{prefix}_s0")
+        requests = [net.add_input(f"{prefix}_r{n}") for n in range(self.width)]
+        append_tree_encoder(net, requests, s0, prefix, self.base_width)
+        return net
+
+    def encode_gate_level(self, requests: np.ndarray,
+                          netlist: Netlist | None = None,
+                          ) -> tuple[np.ndarray, np.ndarray, bool]:
+        """Evaluate through the gate netlist (verification only)."""
+        r = np.asarray(requests).astype(bool)
+        if r.shape != (self.width,):
+            raise ConfigurationError(
+                f"request vector shape {r.shape} != ({self.width},)"
+            )
+        net = netlist or self.build_netlist()
+        inputs = {"tpe_s0": True}
+        inputs.update({f"tpe_r{n}": bool(r[n]) for n in range(self.width)})
+        values = net.evaluate(inputs)
+        grant = np.array([values[f"tpe_g{n}"] for n in range(self.width)])
+        remaining = np.array([values[f"tpe_rp{n}"] for n in range(self.width)])
+        return grant, remaining, bool(values["tpe_noR"])

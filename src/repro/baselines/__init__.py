@@ -1,0 +1,12 @@
+"""Baseline architectures the paper positions ESAM against.
+
+Section 1/2.1: digital CIM MAC is done either with adder trees
+(high parallelism, heavy hardware, blind to sparsity) or with
+sequential accumulation in the periphery (CIM-P, which ESAM extends).
+This package implements the adder-tree alternative so the motivating
+comparison can be reproduced quantitatively.
+"""
+
+from repro.baselines.adder_tree import AdderTreeMacro, AdderTreeReport
+
+__all__ = ["AdderTreeMacro", "AdderTreeReport"]

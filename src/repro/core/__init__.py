@@ -1,0 +1,6 @@
+"""Top-level ESAM API: build, run and evaluate the full accelerator."""
+
+from repro.core.esam import EsamSystem
+from repro.core.results import HardwareReport, ClassificationResult
+
+__all__ = ["EsamSystem", "HardwareReport", "ClassificationResult"]

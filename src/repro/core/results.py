@@ -1,0 +1,55 @@
+"""Result containers returned by the top-level API."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.system.energy import SystemMetrics
+
+
+@dataclass(frozen=True)
+class HardwareReport:
+    """Hardware-cost summary of a batch of inferences."""
+
+    images: int
+    metrics: SystemMetrics
+
+    @property
+    def throughput_minf_s(self) -> float:
+        return self.metrics.throughput_inf_s / 1e6
+
+    @property
+    def energy_per_inference_pj(self) -> float:
+        return self.metrics.energy_per_inference_pj
+
+    @property
+    def power_mw(self) -> float:
+        return self.metrics.power_mw
+
+    def summary(self) -> str:
+        m = self.metrics
+        return (
+            f"{self.images} inferences on {m.cell_type_label}: "
+            f"{self.throughput_minf_s:.1f} MInf/s, "
+            f"{m.energy_per_inference_pj:.0f} pJ/Inf, "
+            f"{self.power_mw:.1f} mW, "
+            f"clock {m.clock_period_ns:.2f} ns, "
+            f"area {m.area_um2 / 1e6:.4f} mm^2"
+        )
+
+
+@dataclass(frozen=True)
+class ClassificationResult:
+    """Predictions plus the hardware cost of producing them."""
+
+    predictions: np.ndarray
+    labels: np.ndarray | None
+    report: HardwareReport
+
+    @property
+    def accuracy(self) -> float | None:
+        if self.labels is None:
+            return None
+        return float((self.predictions == self.labels).mean())

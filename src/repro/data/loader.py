@@ -1,0 +1,61 @@
+"""Dataset assembly: train/test splits with caching.
+
+Generation is deterministic per seed, so a dataset is fully described
+by ``(seed, n_train, n_test)``.  A small in-process cache avoids
+re-rendering across benchmarks in the same session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.digits import DigitGenerator
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DigitDataset:
+    """Float images in [0, 1] plus integer labels."""
+
+    train_images: np.ndarray
+    train_labels: np.ndarray
+    test_images: np.ndarray
+    test_labels: np.ndarray
+
+    @property
+    def n_train(self) -> int:
+        return self.train_images.shape[0]
+
+    @property
+    def n_test(self) -> int:
+        return self.test_images.shape[0]
+
+    def class_balance(self) -> np.ndarray:
+        """Fraction of each class in the training split."""
+        counts = np.bincount(self.train_labels, minlength=10)
+        return counts / max(1, self.n_train)
+
+
+_CACHE: dict[tuple[int, int, int], DigitDataset] = {}
+
+
+def load_dataset(n_train: int = 6000, n_test: int = 1500,
+                 seed: int = 42) -> DigitDataset:
+    """Generate (or fetch from cache) a deterministic digit dataset."""
+    if n_train < 1 or n_test < 1:
+        raise ConfigurationError("n_train and n_test must be >= 1")
+    key = (seed, n_train, n_test)
+    if key not in _CACHE:
+        train_gen = DigitGenerator(seed=seed)
+        test_gen = DigitGenerator(seed=seed + 1_000_003)
+        train_images, train_labels = train_gen.generate(n_train)
+        test_images, test_labels = test_gen.generate(n_test)
+        _CACHE[key] = DigitDataset(
+            train_images=train_images,
+            train_labels=train_labels,
+            test_images=test_images,
+            test_labels=test_labels,
+        )
+    return _CACHE[key]

@@ -1,0 +1,30 @@
+"""Exception hierarchy for the ESAM reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """An object was configured with inconsistent or unsupported parameters."""
+
+
+class DesignRuleError(ReproError):
+    """A physical design rule was violated (e.g. invalid array size).
+
+    The paper restricts SRAM arrays to at most 128 rows and 128 columns
+    because larger arrays would require a negative-bitline write-assist
+    voltage below -400 mV, which is considered non-yielding
+    (Liu et al., TED'22).  Attempting to build such an array raises this
+    error rather than silently producing an unmanufacturable design.
+    """
+
+
+class SimulationError(ReproError):
+    """The hardware simulation reached an inconsistent state."""
+
+
+class TrainingError(ReproError):
+    """Offline BNN training could not proceed (bad shapes, no data, ...)."""

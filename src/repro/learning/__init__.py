@@ -1,0 +1,20 @@
+"""Offline BNN training, BNN->SNN conversion, and online STDP learning."""
+
+from repro.learning.bnn import BNNTrainer, TrainedBNN, TrainingConfig
+from repro.learning.convert import bnn_to_snn, ConvertedSNN
+from repro.learning.stdp import StochasticSTDP
+from repro.learning.online import OnlineLearningEngine, OnlineLearningReport
+from repro.learning.pretrained import ReferenceModel, get_reference_model
+
+__all__ = [
+    "BNNTrainer",
+    "TrainedBNN",
+    "TrainingConfig",
+    "bnn_to_snn",
+    "ConvertedSNN",
+    "StochasticSTDP",
+    "OnlineLearningEngine",
+    "OnlineLearningReport",
+    "ReferenceModel",
+    "get_reference_model",
+]

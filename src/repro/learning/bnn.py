@@ -1,0 +1,206 @@
+"""Binary-Neural-Network trainer (the paper's offline training stage).
+
+Section 4.4.2: "We have trained the network as a Binary Neural Network
+(BNN) with a sign activation function and per-neuron biases."  This is
+a from-scratch numpy implementation of that recipe:
+
+* latent real-valued weights, binarised to {-1, +1} on the forward pass
+  (straight-through estimator with latent clipping — Courbariaux et al.
+  style);
+* hard step activations producing {0, 1} "spike" outputs, matching the
+  XNOR-free input convention of ref [15] (a firing neuron contributes
+  its weight; a silent one contributes nothing);
+* per-neuron real-valued biases, which become the integer firing
+  thresholds after conversion;
+* Adam optimiser with cross-entropy loss on temperature-scaled output
+  logits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TrainingError
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyper-parameters of the BNN training run."""
+
+    hidden_sizes: tuple[int, ...] = (256, 256, 256)
+    n_classes: int = 10
+    epochs: int = 20
+    batch_size: int = 128
+    learning_rate: float = 0.012
+    #: STE window scale: gradients pass where |z| <= ste_scale * sqrt(fan_in).
+    ste_scale: float = 1.0
+    #: Softmax temperature divisor for the output logits.
+    logit_temperature: float = 8.0
+    seed: int = 7
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1 or self.batch_size < 1:
+            raise ConfigurationError("epochs and batch_size must be >= 1")
+        if self.learning_rate <= 0.0:
+            raise ConfigurationError("learning_rate must be positive")
+        if not self.hidden_sizes:
+            raise ConfigurationError("at least one hidden layer is required")
+
+
+@dataclass
+class TrainedBNN:
+    """Result of training: signed binary weights and real biases.
+
+    ``weights[k]`` has values in {-1, +1} with shape (fan_in, fan_out);
+    ``biases[k]`` is float per neuron.  The last layer is the linear
+    readout (arg-max classification).
+    """
+
+    weights: list[np.ndarray]
+    biases: list[np.ndarray]
+    train_accuracy: float
+    config: TrainingConfig
+
+    @property
+    def layer_sizes(self) -> list[int]:
+        return [self.weights[0].shape[0]] + [w.shape[1] for w in self.weights]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """BNN inference: returns output logits (pre-temperature)."""
+        h = np.atleast_2d(np.asarray(x)).astype(np.float64)
+        for w, b in zip(self.weights[:-1], self.biases[:-1]):
+            h = (h @ w + b >= 0.0).astype(np.float64)
+        return h @ self.weights[-1] + self.biases[-1]
+
+    def classify(self, x: np.ndarray) -> np.ndarray:
+        return np.argmax(self.forward(x), axis=1)
+
+    def accuracy(self, x: np.ndarray, labels: np.ndarray) -> float:
+        return float((self.classify(x) == np.asarray(labels)).mean())
+
+
+class BNNTrainer:
+    """From-scratch STE/Adam trainer for the paper's BNN."""
+
+    def __init__(self, n_inputs: int, config: TrainingConfig | None = None) -> None:
+        if n_inputs < 1:
+            raise ConfigurationError(f"n_inputs must be >= 1, got {n_inputs}")
+        self.config = config or TrainingConfig()
+        self.n_inputs = n_inputs
+        rng = np.random.default_rng(self.config.seed)
+        sizes = [n_inputs, *self.config.hidden_sizes, self.config.n_classes]
+        # Latent weights in [-1, 1]; scaled-normal init keeps a balanced
+        # sign distribution after binarisation.
+        self._w = [
+            np.clip(rng.normal(0.0, 0.35, (fan_in, fan_out)), -1.0, 1.0)
+            for fan_in, fan_out in zip(sizes[:-1], sizes[1:])
+        ]
+        self._b = [np.zeros(fan_out) for fan_out in sizes[1:]]
+        # Adam state.
+        self._m = [np.zeros_like(w) for w in self._w] + [np.zeros_like(b) for b in self._b]
+        self._v = [np.zeros_like(w) for w in self._w] + [np.zeros_like(b) for b in self._b]
+        self._adam_t = 0
+
+    # -- forward/backward ---------------------------------------------------------
+
+    @staticmethod
+    def _binarize(w: np.ndarray) -> np.ndarray:
+        return np.where(w >= 0.0, 1.0, -1.0)
+
+    def _forward(self, x: np.ndarray) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Returns per-layer inputs and pre-activations."""
+        inputs = [x]
+        pre_acts = []
+        h = x
+        for k, (w, b) in enumerate(zip(self._w, self._b)):
+            z = h @ self._binarize(w) + b
+            pre_acts.append(z)
+            if k < len(self._w) - 1:
+                h = (z >= 0.0).astype(np.float64)
+                inputs.append(h)
+        return inputs, pre_acts
+
+    def _backward(self, inputs: list[np.ndarray], pre_acts: list[np.ndarray],
+                  labels: np.ndarray) -> tuple[list[np.ndarray], list[np.ndarray], float]:
+        cfg = self.config
+        n = labels.shape[0]
+        logits = pre_acts[-1] / cfg.logit_temperature
+        logits = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(logits)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        loss = float(-np.log(probs[np.arange(n), labels] + 1e-12).mean())
+        dz = probs.copy()
+        dz[np.arange(n), labels] -= 1.0
+        dz /= n * cfg.logit_temperature
+        grads_w: list[np.ndarray] = [None] * len(self._w)  # type: ignore[list-item]
+        grads_b: list[np.ndarray] = [None] * len(self._b)  # type: ignore[list-item]
+        for k in range(len(self._w) - 1, -1, -1):
+            grads_w[k] = inputs[k].T @ dz
+            grads_b[k] = dz.sum(axis=0)
+            if k == 0:
+                break
+            wb = self._binarize(self._w[k])
+            dh = dz @ wb.T
+            # STE through the hard step: pass gradient inside the window.
+            window = cfg.ste_scale * np.sqrt(self._w[k - 1].shape[0])
+            ste = (np.abs(pre_acts[k - 1]) <= window).astype(np.float64)
+            dz = dh * ste
+        return grads_w, grads_b, loss
+
+    def _adam_step(self, grads_w: list[np.ndarray], grads_b: list[np.ndarray]) -> None:
+        cfg = self.config
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        self._adam_t += 1
+        params = self._w + self._b
+        grads = grads_w + grads_b
+        for i, (p, g) in enumerate(zip(params, grads)):
+            self._m[i] = beta1 * self._m[i] + (1 - beta1) * g
+            self._v[i] = beta2 * self._v[i] + (1 - beta2) * g * g
+            m_hat = self._m[i] / (1 - beta1 ** self._adam_t)
+            v_hat = self._v[i] / (1 - beta2 ** self._adam_t)
+            p -= cfg.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+        # Latent clipping (gradients vanish outside [-1, 1] by STE rule).
+        for w in self._w:
+            np.clip(w, -1.0, 1.0, out=w)
+
+    # -- training loop ---------------------------------------------------------------
+
+    def train(self, x: np.ndarray, labels: np.ndarray) -> TrainedBNN:
+        """Train on binary inputs ``x`` of shape (n, n_inputs)."""
+        x = np.asarray(x, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if x.ndim != 2 or x.shape[1] != self.n_inputs:
+            raise TrainingError(
+                f"inputs must be (n, {self.n_inputs}), got {x.shape}"
+            )
+        if labels.shape != (x.shape[0],):
+            raise TrainingError("labels must align with inputs")
+        if labels.min() < 0 or labels.max() >= self.config.n_classes:
+            raise TrainingError("labels out of class range")
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed + 1)
+        n = x.shape[0]
+        for epoch in range(cfg.epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            batches = 0
+            for start in range(0, n, cfg.batch_size):
+                idx = order[start:start + cfg.batch_size]
+                inputs, pre_acts = self._forward(x[idx])
+                grads_w, grads_b, loss = self._backward(inputs, pre_acts, labels[idx])
+                self._adam_step(grads_w, grads_b)
+                epoch_loss += loss
+                batches += 1
+            if cfg.verbose:
+                print(f"epoch {epoch + 1}/{cfg.epochs}: loss {epoch_loss / batches:.4f}")
+        model = TrainedBNN(
+            weights=[self._binarize(w).astype(np.int8) for w in self._w],
+            biases=[b.copy() for b in self._b],
+            train_accuracy=0.0,
+            config=cfg,
+        )
+        model.train_accuracy = model.accuracy(x, labels)
+        return model

@@ -1,0 +1,72 @@
+"""BNN -> binary-SNN conversion (paper section 4.4.2, following ref [15]).
+
+The trained BNN's sign/step neurons map one-to-one onto IF neurons:
+
+* signed weights {-1, +1} are stored as SRAM bits {0, 1};
+* a hidden BNN neuron fires iff ``sum_{x_i=1} w_i + b >= 0``, and the
+  hardware accumulates exactly ``Vmem = sum_{x_i=1} (2 w_i - 1)``, so
+  the per-neuron integer threshold is ``Vth = ceil(-b)`` (Vmem is an
+  integer, making the two conditions identical);
+* output-layer biases stay as a digital per-class offset added to the
+  membrane readout before the arg-max.
+
+Because the task is time-static, a single time step suffices and the
+converted SNN is *exactly* equivalent to the BNN — the paper's 97.64 %
+BNN accuracy carries over unchanged; our equivalence is asserted by the
+test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.learning.bnn import TrainedBNN
+from repro.neuron.if_neuron import DEFAULT_VTH_BITS
+from repro.snn.model import BinarySNN
+
+
+@dataclass(frozen=True)
+class ConvertedSNN:
+    """Hardware-ready network: binary weights, integer thresholds, bias."""
+
+    weights: list[np.ndarray]        # uint8 {0,1}, shape (fan_in, fan_out)
+    thresholds: list[np.ndarray]     # int64 per neuron
+    output_bias: np.ndarray          # float per class
+
+    @property
+    def layer_sizes(self) -> list[int]:
+        return [self.weights[0].shape[0]] + [w.shape[1] for w in self.weights]
+
+    def to_model(self) -> BinarySNN:
+        """Functional reference model of this network."""
+        return BinarySNN(self.weights, self.thresholds, self.output_bias)
+
+
+def bnn_to_snn(bnn: TrainedBNN) -> ConvertedSNN:
+    """Convert a trained BNN into the ESAM on-chip format."""
+    limit = 2 ** (DEFAULT_VTH_BITS - 1)
+    weights: list[np.ndarray] = []
+    thresholds: list[np.ndarray] = []
+    for k, (w, b) in enumerate(zip(bnn.weights, bnn.biases)):
+        if not np.isin(w, (-1, 1)).all():
+            raise ConfigurationError(f"layer {k}: BNN weights must be +-1")
+        weights.append(((w + 1) // 2).astype(np.uint8))
+        if k < len(bnn.weights) - 1:
+            vth = np.ceil(-b).astype(np.int64)
+            if (np.abs(vth) >= limit).any():
+                raise ConfigurationError(
+                    f"layer {k}: threshold exceeds the {DEFAULT_VTH_BITS}-bit "
+                    "Vth register"
+                )
+            thresholds.append(vth)
+        else:
+            # Output layer never fires on-chip; its Vmem is read out.
+            thresholds.append(np.full(w.shape[1], limit - 1, dtype=np.int64))
+    return ConvertedSNN(
+        weights=weights,
+        thresholds=thresholds,
+        output_bias=bnn.biases[-1].astype(np.float64),
+    )

@@ -1,0 +1,141 @@
+"""On-chip online-learning engine over the transposable SRAM.
+
+Connects the plasticity rule to the hardware cost model: every learning
+event on a post-synaptic neuron triggers a column read-modify-write
+through the transposed port of each row-block macro holding that
+neuron's synapses.  For the multiport cells this costs ``2 x 4``
+transposed accesses per 128-row block; the 6T baseline must instead
+read-modify-write all 128 rows (section 4.4.1) — the engine reproduces
+the paper's 257.8 ns / 157 pJ vs 9.9 ns + 8.04 ns comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.learning.stdp import StochasticSTDP
+from repro.sram.bitcell import CellType
+from repro.sram.electrical import TransposedPortModel
+from repro.tile.mapping import ARRAY_DIM
+from repro.tile.tile import Tile
+
+
+@dataclass
+class OnlineLearningReport:
+    """Accumulated cost of the on-chip learning activity."""
+
+    learning_events: int = 0
+    column_updates: int = 0
+    transposed_accesses: int = 0
+    time_ns: float = 0.0
+    energy_pj: float = 0.0
+
+    def merge_ledger(self, tile: Tile) -> None:
+        """Pull the transposed-port ledgers from ``tile``'s macros."""
+        self.transposed_accesses = 0
+        self.time_ns = 0.0
+        self.energy_pj = 0.0
+        for row in tile.macros:
+            for macro in row:
+                ledger = macro.ledger
+                self.transposed_accesses += (
+                    ledger.transposed_reads + ledger.transposed_writes
+                )
+                self.time_ns += ledger.transposed_time_ns
+                self.energy_pj += ledger.transposed_energy_pj
+
+
+class OnlineLearningEngine:
+    """Applies a plasticity rule to one tile through its learning port."""
+
+    def __init__(self, tile: Tile, rule: StochasticSTDP | None = None) -> None:
+        self.tile = tile
+        self.rule = rule or StochasticSTDP()
+        self.report = OnlineLearningReport()
+
+    def learn(self, pre_spikes: np.ndarray, learning_neurons: np.ndarray) -> int:
+        """One learning step.
+
+        Parameters
+        ----------
+        pre_spikes:
+            Pre-synaptic activity vector for the tile's inputs (0/1).
+        learning_neurons:
+            Indices (or boolean mask) of post-neurons with a learning
+            event this step.
+
+        Returns the number of column updates performed.
+        """
+        pre = np.asarray(pre_spikes).astype(bool)
+        if pre.shape != (self.tile.n_in,):
+            raise ConfigurationError(
+                f"pre_spikes shape {pre.shape} != ({self.tile.n_in},)"
+            )
+        neurons = np.asarray(learning_neurons)
+        if neurons.dtype == bool:
+            neurons = np.flatnonzero(neurons)
+        updates = 0
+        for neuron in neurons.astype(int):
+            self._update_neuron_column(pre, int(neuron))
+            updates += 1
+        self.report.learning_events += 1
+        self.report.column_updates += updates
+        self.report.merge_ledger(self.tile)
+        return updates
+
+    def _update_neuron_column(self, pre: np.ndarray, neuron: int) -> None:
+        """Column RMW across every row block holding this neuron."""
+        transposable = self.tile.cell_type.is_transposable
+        for rb in range(self.tile.mapping.row_blocks):
+            macro, local_col = self.tile.macro_for_neuron(neuron, rb)
+            rs = self.tile.mapping.row_slice(rb)
+            pre_block = np.zeros(ARRAY_DIM, dtype=bool)
+            pre_block[: rs.stop - rs.start] = pre[rs]
+            if transposable:
+                column = macro.read_column(local_col)
+                new_column = self.rule.update_column(column, pre_block)
+                macro.write_column(local_col, new_column)
+            else:
+                column = macro.array.dump_weights()[:, local_col]
+                new_column = self.rule.update_column(column, pre_block)
+                macro.update_column_6t(local_col, new_column)
+
+
+def column_update_comparison(rows: int = 128, cols: int = 128,
+                             ) -> dict[str, dict[str, float]]:
+    """Section 4.4.1 numbers: 6T full-array RMW vs multiport column RMW.
+
+    Returns a mapping with the paper's reference quantities:
+    the 6T baseline's ``2 x rows`` cycles / 257.8 ns / 157 pJ, and the
+    per-column read/write times of every transposable cell.
+    """
+    model = TransposedPortModel(rows, cols)
+    result: dict[str, dict[str, float]] = {}
+    baseline = model.full_array_update_cost(CellType.C6T)
+    result[CellType.C6T.value] = {
+        "accesses": float(baseline.total_accesses),
+        "time_ns": baseline.total_time_ns,
+        "energy_pj": baseline.energy_pj,
+        "read_time_ns": baseline.read_time_ns,
+        "write_time_ns": baseline.write_time_ns,
+    }
+    for cell in (CellType.C1RW1R, CellType.C1RW2R, CellType.C1RW3R,
+                 CellType.C1RW4R):
+        cost = model.column_update_cost(cell)
+        result[cell.value] = {
+            "accesses": float(cost.total_accesses),
+            "time_ns": cost.total_time_ns,
+            "energy_pj": cost.energy_pj,
+            "read_time_ns": cost.read_time_ns,
+            "write_time_ns": cost.write_time_ns,
+            # The paper quotes "9.9 ns (26.0x less)" and "8.04 ns (19.5x
+            # less)"; numerically those are 257.8/9.9 and 157/8.04 — we
+            # reproduce both quoted ratios plus the plain time speedup.
+            "paper_read_ratio": baseline.total_time_ns / cost.read_time_ns,
+            "paper_write_ratio": baseline.energy_pj / cost.write_time_ns,
+            "time_speedup_vs_6t": baseline.total_time_ns / cost.total_time_ns,
+        }
+    return result

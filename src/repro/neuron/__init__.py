@@ -1,0 +1,6 @@
+"""Integrate-and-Fire neuron hardware model (paper section 3.4)."""
+
+from repro.neuron.if_neuron import IFNeuron, NeuronTiming, neuron_add_time_ns
+from repro.neuron.array import NeuronArray
+
+__all__ = ["IFNeuron", "NeuronTiming", "neuron_add_time_ns", "NeuronArray"]

@@ -1,0 +1,23 @@
+"""Functional binary-SNN reference model and input encoding."""
+
+from repro.snn.encode import crop_corners, binarize, encode_images, CROPPED_PIXELS
+from repro.snn.model import BinarySNN
+from repro.snn.simulate import evaluate_accuracy, AccuracyReport
+from repro.snn.temporal import (
+    TemporalBinarySNN,
+    TemporalResult,
+    rate_encode,
+)
+
+__all__ = [
+    "TemporalBinarySNN",
+    "TemporalResult",
+    "rate_encode",
+    "crop_corners",
+    "binarize",
+    "encode_images",
+    "CROPPED_PIXELS",
+    "BinarySNN",
+    "evaluate_accuracy",
+    "AccuracyReport",
+]

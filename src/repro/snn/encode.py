@@ -1,0 +1,66 @@
+"""Input encoding: corner cropping and binarisation (section 4.4.2).
+
+The paper reduces MNIST's 784 pixels to 768 by removing a 2x2 block of
+pixels from every image corner, so that the first layer maps exactly
+onto 6 x 128 SRAM rows.  Pixels are then binarised: a '1' pixel emits
+one input spike (binary activations, single time step).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+IMAGE_SIZE = 28
+#: Pixels remaining after cropping: 784 - 4 corners * 4 px = 768 = 6*128.
+CROPPED_PIXELS = IMAGE_SIZE * IMAGE_SIZE - 16
+
+#: Default binarisation threshold for [0, 1] grayscale inputs.
+DEFAULT_THRESHOLD = 0.5
+
+
+def _corner_mask() -> np.ndarray:
+    """Boolean (28, 28) mask; False on the 2x2 corner blocks."""
+    mask = np.ones((IMAGE_SIZE, IMAGE_SIZE), dtype=bool)
+    for rows in (slice(0, 2), slice(IMAGE_SIZE - 2, IMAGE_SIZE)):
+        for cols in (slice(0, 2), slice(IMAGE_SIZE - 2, IMAGE_SIZE)):
+            mask[rows, cols] = False
+    return mask
+
+
+CORNER_MASK = _corner_mask()
+
+
+def crop_corners(images: np.ndarray) -> np.ndarray:
+    """Flatten 28x28 images to 768 pixels, dropping the corner blocks.
+
+    Accepts a single image ``(28, 28)`` or a batch ``(n, 28, 28)``.
+    """
+    images = np.asarray(images)
+    single = images.ndim == 2
+    if single:
+        images = images[None]
+    if images.shape[1:] != (IMAGE_SIZE, IMAGE_SIZE):
+        raise ConfigurationError(
+            f"expected (n, {IMAGE_SIZE}, {IMAGE_SIZE}) images, got {images.shape}"
+        )
+    flat = images[:, CORNER_MASK]
+    return flat[0] if single else flat
+
+
+def binarize(values: np.ndarray, threshold: float = DEFAULT_THRESHOLD) -> np.ndarray:
+    """Binarise grayscale values to uint8 {0, 1} spikes."""
+    if not 0.0 <= threshold <= 1.0:
+        raise ConfigurationError(f"threshold must be in [0, 1], got {threshold}")
+    return (np.asarray(values) >= threshold).astype(np.uint8)
+
+
+def encode_images(images: np.ndarray,
+                  threshold: float = DEFAULT_THRESHOLD) -> np.ndarray:
+    """Full input pipeline: crop corners then binarise.
+
+    Returns uint8 spikes of shape ``(n, 768)`` (or ``(768,)`` for a
+    single image).
+    """
+    return binarize(crop_corners(images), threshold)

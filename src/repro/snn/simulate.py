@@ -1,0 +1,46 @@
+"""Accuracy evaluation helpers for the functional binary SNN."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.snn.encode import encode_images
+from repro.snn.model import BinarySNN
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Classification accuracy summary."""
+
+    correct: int
+    total: int
+    per_class_accuracy: np.ndarray
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.total if self.total else 0.0
+
+    def __str__(self) -> str:
+        return f"{self.accuracy * 100.0:.2f}% ({self.correct}/{self.total})"
+
+
+def evaluate_accuracy(model: BinarySNN, images: np.ndarray,
+                      labels: np.ndarray, threshold: float = 0.5) -> AccuracyReport:
+    """Encode ``images`` and measure classification accuracy."""
+    labels = np.asarray(labels)
+    if images.shape[0] != labels.shape[0]:
+        raise ConfigurationError("images and labels must align")
+    spikes = encode_images(images, threshold)
+    predictions = model.classify(spikes)
+    correct = int((predictions == labels).sum())
+    per_class = np.zeros(10)
+    for c in range(10):
+        mask = labels == c
+        if mask.any():
+            per_class[c] = float((predictions[mask] == c).mean())
+    return AccuracyReport(
+        correct=correct, total=int(labels.shape[0]), per_class_accuracy=per_class
+    )

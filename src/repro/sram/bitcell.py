@@ -1,0 +1,201 @@
+"""Bitcell topologies: the standard 6T cell and the multiport variants.
+
+Section 3.2 of the paper introduces four multiport cells derived from the
+6T core (transistors M1-M6) by adding one read buffer (M7, gate-connected
+to QB) and one access transistor per decoupled read port (M8-M11).  The
+6T core is rotated: its wordline runs vertically and bitline pair
+horizontally, which gives the *transposed* (column-wise) read/write port
+used for online learning; the decoupled ports provide row-wise inference
+reads.
+
+The paper's reported layout areas (section 4.2, from imec 3nm layouts):
+
+=========  =============  ==========
+Cell       Area vs 6T     Transistors
+=========  =============  ==========
+1RW (6T)   1.000x         6
+1RW+1R     1.500x         8
+1RW+2R     1.875x         9
+1RW+3R     2.250x         10
+1RW+4R     2.625x         11
+=========  =============  ==========
+
+A hypothetical fifth read port cannot share the 4-port cell's bitline
+pitch and would widen the cell by another 87.5 % of the 6T area, which
+the paper rejects as area-inefficient (section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ConfigurationError
+from repro.tech.constants import IMEC_3NM, TechnologyNode
+
+
+class CellType(Enum):
+    """The five cell options evaluated throughout the paper."""
+
+    C6T = "1RW"
+    C1RW1R = "1RW+1R"
+    C1RW2R = "1RW+2R"
+    C1RW3R = "1RW+3R"
+    C1RW4R = "1RW+4R"
+
+    @property
+    def extra_read_ports(self) -> int:
+        """Number of decoupled read ports added to the 6T core."""
+        return _EXTRA_PORTS[self]
+
+    @property
+    def is_multiport(self) -> bool:
+        """True for any cell with at least one decoupled read port."""
+        return self.extra_read_ports > 0
+
+    @property
+    def inference_ports(self) -> int:
+        """Row-wise ports usable for inference reads.
+
+        The 6T baseline serves inference through its single RW port; the
+        multiport cells use their decoupled read ports.
+        """
+        return max(1, self.extra_read_ports)
+
+    @property
+    def is_transposable(self) -> bool:
+        """True when the cell offers column-wise RW alongside row reads.
+
+        Only the multiport cells rotate the 6T core; the 1RW baseline
+        keeps the conventional row-wise orientation and therefore cannot
+        access columns directly (section 2.2).
+        """
+        return self.is_multiport
+
+    @classmethod
+    def from_ports(cls, extra_read_ports: int) -> "CellType":
+        """Cell with exactly ``extra_read_ports`` decoupled read ports."""
+        for cell in cls:
+            if cell.extra_read_ports == extra_read_ports:
+                return cell
+        raise ConfigurationError(
+            f"no cell with {extra_read_ports} decoupled read ports; "
+            "the paper caps the design space at 4 (section 4.2)"
+        )
+
+
+_EXTRA_PORTS = {
+    CellType.C6T: 0,
+    CellType.C1RW1R: 1,
+    CellType.C1RW2R: 2,
+    CellType.C1RW3R: 3,
+    CellType.C1RW4R: 4,
+}
+
+#: Layout area relative to the 6T cell (paper section 4.2).
+AREA_RATIO = {
+    CellType.C6T: 1.000,
+    CellType.C1RW1R: 1.500,
+    CellType.C1RW2R: 1.875,
+    CellType.C1RW3R: 2.250,
+    CellType.C1RW4R: 2.625,
+}
+
+#: Additional area (in 6T units) a fifth read port would cost: the four
+#: RBLs exactly consume the 4-port cell pitch, so a fifth port needs a
+#: full extra routing track and wider diffusion.
+FIFTH_PORT_AREA_INCREMENT = 0.875
+
+
+@dataclass(frozen=True)
+class BitcellSpec:
+    """Electrically relevant summary of one bitcell flavor.
+
+    Produced by :func:`bitcell_spec`; consumed by the layout and
+    electrical models.
+    """
+
+    cell_type: CellType
+    node: TechnologyNode
+    transistor_count: int
+    area_um2: float
+    area_ratio: float
+    width_um: float
+    height_um: float
+    #: Wordline width factor of the transposed port.  Multiport cells
+    #: must narrow the (vertical) WL to route RBL0..RBL3 in the same
+    #: metal layer, raising its resistance (section 4.2 / Figure 6).
+    wl_width_factor: float
+
+    @property
+    def extra_read_ports(self) -> int:
+        return self.cell_type.extra_read_ports
+
+    @property
+    def leakage_transistor_ratio(self) -> float:
+        """Leakage scale vs the 6T cell (proportional to device count)."""
+        return self.transistor_count / 6.0
+
+
+#: WL narrowing applied to every multiport cell (same layer shared with
+#: the read bitlines).  Derived from the 3nm track budget: the 6T WL
+#: uses a double-width track; the multiport cells drop to minimum width.
+MULTIPORT_WL_WIDTH_FACTOR = 0.55
+
+
+def transistor_count(cell_type: CellType) -> int:
+    """Device count: 6T core + shared read buffer M7 + one access FET/port."""
+    extra = cell_type.extra_read_ports
+    if extra == 0:
+        return 6
+    return 6 + 1 + extra
+
+
+def bitcell_spec(cell_type: CellType, node: TechnologyNode = IMEC_3NM) -> BitcellSpec:
+    """Build the :class:`BitcellSpec` for ``cell_type`` on ``node``.
+
+    Added ports widen the cell (height is pinned by the fin grid), so
+    ``width = 6T width * area_ratio``.
+    """
+    ratio = AREA_RATIO[cell_type]
+    return BitcellSpec(
+        cell_type=cell_type,
+        node=node,
+        transistor_count=transistor_count(cell_type),
+        area_um2=node.sram_6t_area_um2 * ratio,
+        area_ratio=ratio,
+        width_um=node.sram_6t_width_um * ratio,
+        height_um=node.sram_6t_height_um,
+        wl_width_factor=1.0 if cell_type is CellType.C6T else MULTIPORT_WL_WIDTH_FACTOR,
+    )
+
+
+def hypothetical_cell_area_ratio(extra_read_ports: int) -> float:
+    """Area ratio for an arbitrary port count, including rejected ones.
+
+    Follows the paper's layout arithmetic: the first port costs 0.5 of a
+    6T (read buffer + access + one bitline track), ports 2-4 cost 0.375
+    each (access + track), and a fifth port would cost 0.875 because the
+    bitline pitch is exhausted (section 4.2).
+    """
+    if extra_read_ports < 0:
+        raise ConfigurationError("extra_read_ports must be >= 0")
+    if extra_read_ports == 0:
+        return 1.0
+    ratio = 1.5 + 0.375 * min(extra_read_ports - 1, 3)
+    if extra_read_ports > 4:
+        ratio += FIFTH_PORT_AREA_INCREMENT * (extra_read_ports - 4)
+    return ratio
+
+
+#: Ordered tuple of every cell evaluated in the paper.
+ALL_CELLS = (
+    CellType.C6T,
+    CellType.C1RW1R,
+    CellType.C1RW2R,
+    CellType.C1RW3R,
+    CellType.C1RW4R,
+)
+
+#: The paper's selected design point for the headline results.
+SELECTED_CELL = CellType.C1RW4R

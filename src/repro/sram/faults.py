@@ -1,0 +1,118 @@
+"""Weight-memory fault injection (soft-error robustness study).
+
+SRAM-based weight storage at advanced nodes is exposed to soft errors
+(SEUs) and retention faults; a practical deployment question for an
+edge accelerator like ESAM is how gracefully classification degrades
+as stored weight bits flip.  This module injects uniform random bit
+flips into the binary weight matrices and measures the effect — an
+extension study supporting the paper's always-on edge use case.
+
+Two injection targets:
+
+* :func:`flip_bits` — pure-array fault injection for the functional
+  model (fast, used for bit-error-rate sweeps);
+* :class:`FaultInjector.inject_network` — in-place injection into a
+  hardware network's macros through their normal write ports, so the
+  cycle-accurate path sees the same faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.snn.model import BinarySNN
+
+
+def flip_bits(weights: np.ndarray, bit_error_rate: float,
+              rng: np.random.Generator) -> tuple[np.ndarray, int]:
+    """Flip each bit of ``weights`` independently with the given rate.
+
+    Returns the faulty copy and the number of flipped bits.
+    """
+    if not 0.0 <= bit_error_rate <= 1.0:
+        raise ConfigurationError(
+            f"bit_error_rate must be in [0, 1], got {bit_error_rate}"
+        )
+    weights = np.asarray(weights)
+    if not np.isin(weights, (0, 1)).all():
+        raise ConfigurationError("weights must be binary 0/1")
+    mask = rng.random(weights.shape) < bit_error_rate
+    faulty = weights.astype(np.uint8) ^ mask.astype(np.uint8)
+    return faulty, int(mask.sum())
+
+
+@dataclass(frozen=True)
+class FaultSweepPoint:
+    """Accuracy at one bit-error rate."""
+
+    bit_error_rate: float
+    flipped_bits: int
+    accuracy: float
+
+
+class FaultInjector:
+    """Runs bit-error-rate sweeps against a converted SNN."""
+
+    def __init__(self, weights: list[np.ndarray], thresholds: list[np.ndarray],
+                 output_bias: np.ndarray | None = None, seed: int = 77) -> None:
+        if not weights:
+            raise ConfigurationError("at least one layer required")
+        self.weights = [np.asarray(w).astype(np.uint8) for w in weights]
+        self.thresholds = [np.asarray(t) for t in thresholds]
+        self.output_bias = output_bias
+        self._rng = np.random.default_rng(seed)
+
+    def faulty_model(self, bit_error_rate: float) -> tuple[BinarySNN, int]:
+        """A functional model with faults injected into every layer."""
+        faulty_weights = []
+        total_flips = 0
+        for w in self.weights:
+            faulty, flips = flip_bits(w, bit_error_rate, self._rng)
+            faulty_weights.append(faulty)
+            total_flips += flips
+        model = BinarySNN(faulty_weights, self.thresholds, self.output_bias)
+        return model, total_flips
+
+    def sweep(self, spikes: np.ndarray, labels: np.ndarray,
+              rates: tuple[float, ...] = (0.0, 1e-4, 1e-3, 5e-3, 1e-2, 5e-2),
+              trials: int = 3) -> list[FaultSweepPoint]:
+        """Accuracy vs bit-error rate, averaged over ``trials`` seeds."""
+        if trials < 1:
+            raise ConfigurationError("trials must be >= 1")
+        labels = np.asarray(labels)
+        points = []
+        for rate in rates:
+            accuracies = []
+            flips = 0
+            for _ in range(trials if rate > 0.0 else 1):
+                model, n_flips = self.faulty_model(rate)
+                predictions = model.classify(spikes)
+                accuracies.append(float((predictions == labels).mean()))
+                flips = n_flips
+            points.append(
+                FaultSweepPoint(
+                    bit_error_rate=rate,
+                    flipped_bits=flips,
+                    accuracy=float(np.mean(accuracies)),
+                )
+            )
+        return points
+
+    def inject_network(self, network, bit_error_rate: float) -> int:
+        """Flip bits inside a hardware network's macros (in place).
+
+        Uses the arrays' normal load path so design rules still apply.
+        Returns the number of flipped bits.
+        """
+        total = 0
+        for tile in network.tiles:
+            for row in tile.macros:
+                for macro in row:
+                    bits = macro.array.dump_weights()
+                    faulty, flips = flip_bits(bits, bit_error_rate, self._rng)
+                    macro.array.load_weights(faulty)
+                    total += flips
+        return total

@@ -1,0 +1,176 @@
+"""Array floorplanning: cell geometry to wire lengths and macro area.
+
+Turns a :class:`~repro.sram.bitcell.BitcellSpec` plus array dimensions
+into the physical quantities the electrical models need: wordline and
+bitline lengths, per-line capacitive load, periphery area.  Also checks
+the paper's pitch-matching constraints:
+
+* at most 4 read bitlines fit the 4-port cell width (section 4.2);
+* the differential sense amplifiers of the transposed port are 4:1
+  row-muxed to match the SRAM row pitch (section 3.2), so a full
+  128-bit column is read or written in 4 accesses (section 4.4.1);
+* the single-ended inverter-cascade sense amps match the column pitch
+  directly (one per column per port).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, DesignRuleError
+from repro.sram.bitcell import BitcellSpec, CellType, bitcell_spec
+from repro.tech.constants import IMEC_3NM, TechnologyNode
+from repro.tech.wire import M0, Wire
+
+#: Row-mux factor of the transposed-port differential sense amplifiers.
+TRANSPOSED_MUX_FACTOR = 4
+
+#: Maximum decoupled read ports whose bitlines fit the cell pitch.
+MAX_PITCH_MATCHED_PORTS = 4
+
+
+@dataclass(frozen=True)
+class CellLayout:
+    """Physical layout view of one bitcell within an array."""
+
+    spec: BitcellSpec
+
+    @property
+    def width_um(self) -> float:
+        return self.spec.width_um
+
+    @property
+    def height_um(self) -> float:
+        return self.spec.height_um
+
+    def rbl_tracks_available(self) -> int:
+        """Read-bitline routing tracks available at this cell's width."""
+        # The 6T width hosts no spare track; each 0.375x-of-6T widening
+        # adds one track, and the first port's 0.5x widening adds one.
+        extra = self.spec.extra_read_ports
+        return min(extra, MAX_PITCH_MATCHED_PORTS)
+
+    def check_pitch(self) -> None:
+        """Raise :class:`DesignRuleError` if the ports exceed the pitch."""
+        if self.spec.extra_read_ports > MAX_PITCH_MATCHED_PORTS:
+            raise DesignRuleError(
+                f"{self.spec.cell_type}: only {MAX_PITCH_MATCHED_PORTS} read "
+                "bitlines can match the cell pitch (paper section 4.2)"
+            )
+
+
+@dataclass(frozen=True)
+class ArrayFloorplan:
+    """Floorplan of a ``rows x cols`` array of one cell flavor.
+
+    Coordinate convention follows the paper's Figure 2: inference
+    wordlines (RWLs) run horizontally across ``cols`` cells; inference
+    bitlines (RBLs) run vertically across ``rows`` cells.  The transposed
+    port's WL runs vertically and its BL/BLB pair horizontally.
+    """
+
+    cell: BitcellSpec
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ConfigurationError("array dimensions must be >= 1")
+        CellLayout(self.cell).check_pitch()
+
+    # -- physical dimensions --------------------------------------------------
+
+    @property
+    def core_width_um(self) -> float:
+        return self.cols * self.cell.width_um
+
+    @property
+    def core_height_um(self) -> float:
+        return self.rows * self.cell.height_um
+
+    @property
+    def core_area_um2(self) -> float:
+        return self.rows * self.cols * self.cell.area_um2
+
+    # -- wires ----------------------------------------------------------------
+
+    def inference_wordline(self) -> Wire:
+        """One RWL: horizontal, spanning all columns (minimum width)."""
+        return Wire(layer=M0, length_um=self.core_width_um, width_factor=1.0)
+
+    def inference_bitline(self) -> Wire:
+        """One RBL: vertical, spanning all rows."""
+        return Wire(layer=M0, length_um=self.core_height_um, width_factor=1.0)
+
+    def transposed_wordline(self) -> Wire:
+        """The transposed port's WL: vertical, narrowed on multiport cells."""
+        return Wire(
+            layer=M0,
+            length_um=self.core_height_um,
+            width_factor=self.cell.wl_width_factor,
+        )
+
+    def transposed_bitline(self) -> Wire:
+        """One of BL/BLB: horizontal across all columns."""
+        return Wire(layer=M0, length_um=self.core_width_um, width_factor=1.0)
+
+    # -- periphery ------------------------------------------------------------
+
+    @property
+    def transposed_sense_amp_count(self) -> int:
+        """Differential SAs on the transposed port (4:1 row-muxed)."""
+        if not self.cell.cell_type.is_transposable:
+            # The 6T baseline's single port is its native row port; its
+            # column-pitch SAs are 4:1 muxed as well.
+            return max(1, self.cols // TRANSPOSED_MUX_FACTOR)
+        return max(1, self.rows // TRANSPOSED_MUX_FACTOR)
+
+    @property
+    def inference_sense_amp_count(self) -> int:
+        """Single-ended inverter-cascade SAs: one per column per port."""
+        return self.cols * self.cell.cell_type.inference_ports
+
+    def column_access_count(self) -> int:
+        """Accesses needed to read or write one full logical column.
+
+        With the transposed port and 4:1 muxing, a 128-cell column takes
+        4 accesses (section 4.4.1).  The 6T baseline must instead
+        read-modify-write every row: ``rows`` accesses.
+        """
+        if self.cell.cell_type.is_transposable:
+            return TRANSPOSED_MUX_FACTOR
+        return self.rows
+
+    # -- macro area (Figure 8's area metric) ----------------------------------
+
+    def periphery_area_um2(self) -> float:
+        """Area of decoders, SAs, precharge and write drivers.
+
+        Modelled per structure with per-instance footprints expressed in
+        6T-cell units (standard practice for macro estimates): a
+        differential SA with mux is ~24 cells, an inverter-cascade SA ~6
+        cells, a wordline driver ~3 cells per row per port, write drivers
+        with NBL boost ~20 cells per mux group.
+        """
+        unit = self.cell.node.sram_6t_area_um2
+        diff_sa = self.transposed_sense_amp_count * 24.0
+        se_sa = self.inference_sense_amp_count * 6.0
+        wl_drivers = self.rows * self.cell.cell_type.inference_ports * 3.0
+        transposed_drivers = self.cols * 3.0
+        write_drivers = self.transposed_sense_amp_count * 20.0
+        precharge = self.cols * self.cell.cell_type.inference_ports * 1.5
+        total_cells = (
+            diff_sa + se_sa + wl_drivers + transposed_drivers
+            + write_drivers + precharge
+        )
+        return total_cells * unit
+
+    def macro_area_um2(self) -> float:
+        """Core plus periphery area."""
+        return self.core_area_um2 + self.periphery_area_um2()
+
+
+def floorplan(cell_type: CellType, rows: int = 128, cols: int = 128,
+              node: TechnologyNode = IMEC_3NM) -> ArrayFloorplan:
+    """Convenience constructor for the common 128x128 case."""
+    return ArrayFloorplan(cell=bitcell_spec(cell_type, node), rows=rows, cols=cols)

@@ -1,0 +1,123 @@
+"""Sense-amplifier models for the two port families.
+
+The paper (section 3.2) uses:
+
+* **voltage-based differential SAs** on the transposed BL/BLB port,
+  4:1 row-muxed to match the SRAM row pitch — fast, but pitch-hungry;
+* **cascaded inverter-based SAs** on the single-ended RBL0..RBL3
+  inference ports — pitch-matched to the narrow SRAM columns at the
+  price of a "slightly slower readout" and of a trip-point-referenced
+  (rather than differential) sensing threshold.
+
+Both models expose the quantities the electrical models consume:
+resolution delay, per-event energy, bias (static) power, and the input
+swing they require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DifferentialSenseAmp:
+    """Latch-type differential SA used on the transposed BL/BLB port.
+
+    Attributes
+    ----------
+    required_swing_v:
+        Differential input the latch needs to resolve reliably at the
+        +-3 sigma corner.
+    resolve_delay_ns:
+        Regeneration delay once fired.
+    energy_pj:
+        Energy per sense event (latch regeneration + output drive).
+    mux_factor:
+        Column/row mux in front of the SA (pitch matching).
+    """
+
+    required_swing_v: float = 0.100
+    resolve_delay_ns: float = 0.055
+    energy_pj: float = 0.004
+    mux_factor: int = 4
+
+    def __post_init__(self) -> None:
+        if self.required_swing_v <= 0.0:
+            raise ConfigurationError("required_swing_v must be positive")
+        if self.mux_factor < 1:
+            raise ConfigurationError("mux_factor must be >= 1")
+
+    def sense_delay_ns(self, bitline_slew_ns_per_v: float) -> float:
+        """Delay to develop the required swing plus regeneration."""
+        return self.required_swing_v * bitline_slew_ns_per_v + self.resolve_delay_ns
+
+
+@dataclass(frozen=True)
+class InverterCascadeSenseAmp:
+    """Cascaded-inverter single-ended SA for the decoupled read ports.
+
+    The first inverter trips when the RBL crosses ``trip_margin_v``
+    below the precharge level it was designed for; two more stages
+    restore a full-rail output.  Designed-in skewing places the trip
+    point relative to ``design_vprech``; operating the same hardware at
+    a different precharge voltage changes the effective input swing.
+
+    ``dc_current_ua(v_in)`` models the crowbar current the first stage
+    draws while its input sits between the rails — the mechanism that
+    penalises slow, low-voltage precharge (Figure 7's 400 mV behaviour).
+    """
+
+    design_vprech: float = 0.500
+    trip_margin_v: float = 0.150
+    stage_delay_ns: float = 0.100
+    stages: int = 3
+    #: Energy per sense event: internal stages swing the full core VDD,
+    #: so part of it does not scale with the precharge voltage.
+    energy_fixed_fj: float = 0.35
+    energy_swing_fj: float = 2.25
+
+    def __post_init__(self) -> None:
+        if self.stages < 1:
+            raise ConfigurationError("stages must be >= 1")
+        if not 0.0 < self.trip_margin_v < self.design_vprech:
+            raise ConfigurationError(
+                "trip_margin_v must be within (0, design_vprech)"
+            )
+
+    @property
+    def resolve_delay_ns(self) -> float:
+        """Total delay through the inverter cascade once tripped."""
+        return self.stages * self.stage_delay_ns
+
+    def required_swing_v(self) -> float:
+        """RBL swing needed to cross the designed trip point."""
+        return self.trip_margin_v
+
+    def energy_fj(self, vprech: float) -> float:
+        """Per-event sense energy in femtojoules at ``vprech``.
+
+        The first stage's input swing scales with the precharge level
+        down to the design point; below it, the internal full-VDD stages
+        dominate and the energy floors (the SA is re-skewed at design
+        time for lower Vprech, not operated off-design).
+        """
+        if vprech <= 0.0:
+            raise ConfigurationError("vprech must be positive")
+        ratio = max(vprech, self.design_vprech) / self.design_vprech
+        return self.energy_fixed_fj + self.energy_swing_fj * ratio * ratio
+
+    def dc_current_ua(self, v_in: float, vdd: float = 0.700) -> float:
+        """Static crowbar current of the first stage at input ``v_in``.
+
+        Peaks when the input sits near mid-rail; negligible when the
+        input is within ~150 mV of either rail.
+        """
+        if vdd <= 0.0:
+            raise ConfigurationError("vdd must be positive")
+        mid = 0.5 * vdd
+        spread = 0.11 * vdd
+        peak_ua = 1.4
+        x = (v_in - mid) / spread
+        return peak_ua * 2.718281828 ** (-0.5 * x * x)

@@ -1,0 +1,48 @@
+"""Area accounting for non-SRAM system components.
+
+SRAM macro area comes from :class:`repro.sram.layout.ArrayFloorplan`;
+arbiter area from the synthesis netlist
+(:func:`repro.arbiter.analysis.arbiter_area_um2`).  This module adds the
+neuron array and rolls the full system up — the area series of Figure 8.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.arbiter.analysis import GATE_EQUIVALENT_AREA_UM2
+from repro.errors import ConfigurationError
+from repro.neuron.if_neuron import DEFAULT_VMEM_BITS, DEFAULT_VTH_BITS
+
+#: Gate-equivalents per flip-flop bit and per adder bit-slice at 3nm.
+_GE_PER_FLOP = 4.5
+_GE_PER_ADDER_BIT = 6.0
+_GE_PER_COMPARE_BIT = 2.5
+
+
+def neuron_area_ge(ports: int) -> float:
+    """One IF neuron in gate equivalents.
+
+    Vmem and Vth registers, a ``ports``-input +-1 decode/adder tree, the
+    threshold comparator, and the r/g handshake latch.
+    """
+    if ports < 1:
+        raise ConfigurationError(f"ports must be >= 1, got {ports}")
+    registers = (DEFAULT_VMEM_BITS + DEFAULT_VTH_BITS + 1) * _GE_PER_FLOP
+    adder_slices = max(1, ports - 1) + 1  # tree nodes + Vmem accumulate
+    adder = adder_slices * DEFAULT_VMEM_BITS * 0.5 * _GE_PER_ADDER_BIT
+    decode = ports * 2.0
+    compare = DEFAULT_VMEM_BITS * _GE_PER_COMPARE_BIT
+    return registers + adder + decode + compare
+
+
+def neuron_array_area_um2(n_neurons: int, ports: int) -> float:
+    """Area of ``n_neurons`` IF neurons in um^2."""
+    if n_neurons < 1:
+        raise ConfigurationError(f"n_neurons must be >= 1, got {n_neurons}")
+    return n_neurons * neuron_area_ge(ports) * GATE_EQUIVALENT_AREA_UM2
+
+
+def system_area_um2(tiles: list) -> float:
+    """Total area of a tile stack (duck-typed to avoid import cycles)."""
+    return sum(t.area_um2() for t in tiles)

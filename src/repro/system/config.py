@@ -1,0 +1,42 @@
+"""System-level configuration and calibration constants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.sram.bitcell import CellType
+
+#: The paper's network topology for MNIST (section 4.4.2).
+PAPER_LAYER_SIZES = (768, 256, 256, 256, 10)
+
+#: Clock-tree + pipeline-register energy per tile per clock cycle (pJ).
+#: Covers clock distribution, the request/grant registers and the
+#: pipeline latches of one tile; calibrated with the system energy so
+#: the 1RW+4R design point lands at the paper's ~607 pJ/Inf.
+CLOCK_ENERGY_PER_TILE_CYCLE_PJ = 2.60
+
+#: Static power of the non-SRAM periphery (neuron registers, clock
+#: buffers kept alive, bias generators), in mW.
+PERIPHERY_STATIC_MW = 2.2
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Configuration of one ESAM system evaluation."""
+
+    cell_type: CellType = CellType.C1RW4R
+    vprech: float = 0.500
+    layer_sizes: tuple[int, ...] = PAPER_LAYER_SIZES
+    #: Images simulated cycle-accurately for the energy/throughput
+    #: estimate (accuracy uses the functional model over the full set).
+    sample_images: int = 64
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if len(self.layer_sizes) < 2:
+            raise ConfigurationError("need at least input + output layer")
+        if self.sample_images < 1:
+            raise ConfigurationError("sample_images must be >= 1")
+        if not 0.0 < self.vprech <= 0.7:
+            raise ConfigurationError(f"vprech out of range: {self.vprech}")

@@ -1,0 +1,138 @@
+"""System-level evaluation: Figure 8 and the headline claims.
+
+Builds the paper's 768:256:256:256:10 network for each SRAM cell
+option, runs the spike-by-spike simulator over a sample of encoded
+digits, and rolls the activity up into throughput / power /
+energy-per-inference / area — "the synthesis results, combined with the
+SRAM macro outcomes, are utilized to simulate the network on a
+spike-by-spike basis in Python" (section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.learning.convert import ConvertedSNN
+from repro.learning.pretrained import get_reference_model
+from repro.sram.bitcell import ALL_CELLS, CellType
+from repro.snn.encode import encode_images
+from repro.system.config import SystemConfig
+from repro.system.energy import SystemEnergyModel, SystemMetrics
+from repro.tile.network import EsamNetwork, InferenceTrace
+
+
+@dataclass(frozen=True)
+class Figure8Row:
+    """One bar group of Figure 8."""
+
+    cell_type: CellType
+    metrics: SystemMetrics
+
+    @property
+    def throughput_minf_s(self) -> float:
+        return self.metrics.throughput_inf_s / 1e6
+
+    @property
+    def energy_per_inf_pj(self) -> float:
+        return self.metrics.energy_per_inference_pj
+
+    @property
+    def power_mw(self) -> float:
+        return self.metrics.power_mw
+
+    @property
+    def area_mm2(self) -> float:
+        return self.metrics.area_um2 / 1e6
+
+
+@dataclass(frozen=True)
+class HeadlineClaims:
+    """Section 4.4.2 / abstract claims, measured."""
+
+    speedup_vs_1rw: float
+    energy_efficiency_vs_1rw: float
+    throughput_minf_s: float
+    energy_per_inf_pj: float
+    power_mw: float
+    area_ratio_vs_1rw: float
+    accuracy: float
+
+
+class SystemEvaluator:
+    """Runs the Figure-8 sweep over the five cell options."""
+
+    def __init__(self, config: SystemConfig | None = None,
+                 snn: ConvertedSNN | None = None,
+                 quality: str = "full") -> None:
+        self.config = config or SystemConfig()
+        if snn is None:
+            reference = get_reference_model(quality, self.config.seed)
+            self._snn = reference.snn
+            self._accuracy = reference.test_accuracy
+            self._dataset = reference.dataset
+        else:
+            self._snn = snn
+            self._accuracy = float("nan")
+            self._dataset = None
+        self._spikes = self._sample_spikes()
+
+    def _sample_spikes(self) -> np.ndarray:
+        if self._dataset is not None:
+            images = self._dataset.test_images[: self.config.sample_images]
+            return encode_images(images)
+        rng = np.random.default_rng(self.config.seed)
+        n_in = self._snn.layer_sizes[0]
+        return (
+            rng.random((self.config.sample_images, n_in)) < 0.16
+        ).astype(np.uint8)
+
+    # -- single design point ------------------------------------------------------
+
+    def build_network(self, cell_type: CellType,
+                      vprech: float | None = None) -> EsamNetwork:
+        return EsamNetwork(
+            self._snn.weights,
+            self._snn.thresholds,
+            output_bias=self._snn.output_bias,
+            cell_type=cell_type,
+            vprech=self.config.vprech if vprech is None else vprech,
+        )
+
+    def evaluate_cell(self, cell_type: CellType,
+                      vprech: float | None = None) -> Figure8Row:
+        """Cycle-accurate evaluation of one cell option."""
+        network = self.build_network(cell_type, vprech)
+        trace = InferenceTrace()
+        for spikes in self._spikes:
+            network.infer(spikes, trace)
+        metrics = SystemEnergyModel(network).metrics(trace)
+        return Figure8Row(cell_type=cell_type, metrics=metrics)
+
+    # -- the full figure -----------------------------------------------------------
+
+    def figure8(self) -> list[Figure8Row]:
+        """All five cell options (Figure 8's x-axis)."""
+        return [self.evaluate_cell(cell) for cell in ALL_CELLS]
+
+    def headline_claims(self, rows: list[Figure8Row] | None = None) -> HeadlineClaims:
+        """The abstract's 3.1x / 2.2x / 44 MInf/s / 607 pJ / 29 mW set."""
+        rows = rows or self.figure8()
+        by_cell = {row.cell_type: row for row in rows}
+        if CellType.C6T not in by_cell or CellType.C1RW4R not in by_cell:
+            raise ConfigurationError("figure-8 rows must include 1RW and 1RW+4R")
+        base = by_cell[CellType.C6T]
+        best = by_cell[CellType.C1RW4R]
+        return HeadlineClaims(
+            speedup_vs_1rw=best.throughput_minf_s / base.throughput_minf_s,
+            energy_efficiency_vs_1rw=(
+                base.energy_per_inf_pj / best.energy_per_inf_pj
+            ),
+            throughput_minf_s=best.throughput_minf_s,
+            energy_per_inf_pj=best.energy_per_inf_pj,
+            power_mw=best.power_mw,
+            area_ratio_vs_1rw=best.area_mm2 / base.area_mm2,
+            accuracy=self._accuracy,
+        )

@@ -1,0 +1,153 @@
+"""Low-throughput operating modes (paper section 4.4.2, last paragraph).
+
+The paper notes its implementation is "biased heavily towards high
+throughput" and that low-duty applications can use "a lower VDD, lower
+clock frequency, and HVT transistors ... to significantly reduce power
+consumption, while maintaining similar energy/Inference".  This module
+models those knobs on top of a measured high-speed design point:
+
+* **VDD scaling** — dynamic energy scales as ``(V/V0)^2``; logic delay
+  follows the alpha-power law, so the clock stretches as the overdrive
+  shrinks.  The read-port precharge rail scales proportionally.
+* **HVT devices** — subthreshold leakage drops by ~1.5 decades at a
+  fixed delay penalty.
+* **Clock scaling / duty cycling** — running slower than the critical
+  path allows leaves energy/inference untouched but spreads it over
+  time, trading throughput for power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.system.energy import SystemMetrics
+from repro.tech.finfet import FinFetDevice, VtFlavor
+
+#: Nominal operating point of the paper's system.
+NOMINAL_VDD = 0.700
+
+#: Delay penalty of moving the logic/SRAM to HVT devices at equal VDD.
+HVT_DELAY_FACTOR = 1.45
+
+#: Fraction of the system's static power that scales with the device
+#: leakage (the rest is bias/analog overhead that DVFS cannot remove).
+LEAKAGE_SCALABLE_FRACTION = 0.85
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One DVFS/Vt configuration of the system."""
+
+    vdd: float
+    flavor: VtFlavor
+    clock_period_ns: float
+    throughput_inf_s: float
+    energy_per_inf_pj: float
+    power_mw: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.vdd * 1e3:.0f} mV / {self.flavor.value.upper()}"
+
+
+class LowPowerScaler:
+    """Derives scaled operating points from a nominal measurement."""
+
+    def __init__(self, nominal: SystemMetrics, nominal_vdd: float = NOMINAL_VDD,
+                 nominal_flavor: VtFlavor = VtFlavor.SVT) -> None:
+        if nominal.energy_per_inference_pj <= 0.0:
+            raise ConfigurationError("nominal metrics must be populated")
+        self.nominal = nominal
+        self.nominal_vdd = nominal_vdd
+        self.nominal_flavor = nominal_flavor
+
+    # -- component scaling laws --------------------------------------------------
+
+    def delay_factor(self, vdd: float, flavor: VtFlavor) -> float:
+        """Critical-path delay relative to nominal (alpha-power law)."""
+        self._check_vdd(vdd, flavor)
+        ref = FinFetDevice(flavor=self.nominal_flavor)
+        dev = FinFetDevice(flavor=flavor)
+        # delay ~ C * V / I(V): current at the scaled point vs nominal.
+        i_ref = ref.drive_current_ua(self.nominal_vdd)
+        i_new = dev.drive_current_ua(vdd)
+        factor = (vdd / self.nominal_vdd) * (i_ref / i_new)
+        if flavor is not self.nominal_flavor and flavor is VtFlavor.HVT:
+            # Wire-dominated paths dilute the device slowdown; calibrate
+            # to the library-level HVT penalty at nominal VDD.
+            device_only = self.delay_factor_device_only(self.nominal_vdd, flavor)
+            factor *= HVT_DELAY_FACTOR / device_only
+        return factor
+
+    def delay_factor_device_only(self, vdd: float, flavor: VtFlavor) -> float:
+        ref = FinFetDevice(flavor=self.nominal_flavor)
+        dev = FinFetDevice(flavor=flavor)
+        return (
+            (vdd / self.nominal_vdd)
+            * ref.drive_current_ua(self.nominal_vdd)
+            / dev.drive_current_ua(vdd)
+        )
+
+    def leakage_factor(self, vdd: float, flavor: VtFlavor) -> float:
+        """Static-power scale relative to nominal."""
+        ref = FinFetDevice(flavor=self.nominal_flavor)
+        dev = FinFetDevice(flavor=flavor)
+        device_scale = (
+            dev.leakage_power_mw(vdd) / ref.leakage_power_mw(self.nominal_vdd)
+        )
+        return (
+            LEAKAGE_SCALABLE_FRACTION * device_scale
+            + (1.0 - LEAKAGE_SCALABLE_FRACTION)
+        )
+
+    # -- operating points -----------------------------------------------------------
+
+    def operating_point(self, vdd: float,
+                        flavor: VtFlavor = VtFlavor.SVT,
+                        clock_slowdown: float = 1.0) -> OperatingPoint:
+        """Scaled metrics at ``vdd``/``flavor``.
+
+        ``clock_slowdown`` >= 1 additionally under-clocks relative to
+        the critical path (duty-cycling for low-rate applications).
+        """
+        if clock_slowdown < 1.0:
+            raise ConfigurationError("clock_slowdown must be >= 1")
+        m = self.nominal
+        delay = self.delay_factor(vdd, flavor) * clock_slowdown
+        t_clk = m.clock_period_ns * delay
+        inference_time_ns = m.inference_time_ns * delay
+        v_ratio_sq = (vdd / self.nominal_vdd) ** 2
+        dynamic_pj = (m.dynamic_energy_pj + m.clock_energy_pj) * v_ratio_sq
+        leak_mw = (
+            m.leakage_energy_pj / m.inference_time_ns
+        ) * self.leakage_factor(vdd, flavor)
+        leakage_pj = leak_mw * inference_time_ns
+        energy_pj = dynamic_pj + leakage_pj
+        throughput = 1e9 / inference_time_ns
+        return OperatingPoint(
+            vdd=vdd,
+            flavor=flavor,
+            clock_period_ns=t_clk,
+            throughput_inf_s=throughput,
+            energy_per_inf_pj=energy_pj,
+            power_mw=energy_pj * throughput * 1e-9,
+        )
+
+    def sweep(self, vdds: tuple[float, ...] = (0.70, 0.60, 0.50),
+              flavors: tuple[VtFlavor, ...] = (VtFlavor.SVT, VtFlavor.HVT),
+              ) -> list[OperatingPoint]:
+        """The low-power design space of section 4.4.2."""
+        return [
+            self.operating_point(vdd, flavor)
+            for flavor in flavors
+            for vdd in vdds
+        ]
+
+    def _check_vdd(self, vdd: float, flavor: VtFlavor) -> None:
+        dev = FinFetDevice(flavor=flavor)
+        if vdd <= dev.vt + 0.10:
+            raise ConfigurationError(
+                f"vdd {vdd} V leaves <100 mV overdrive for {flavor.value} "
+                "devices; near/sub-threshold operation is out of model range"
+            )

@@ -1,0 +1,30 @@
+"""Technology models for IMEC's 3nm FinFET node.
+
+This subpackage replaces the paper's Cadence Spectre / Calibre PEX flow
+with analytical device, wire and statistical models.  The models are
+physically structured (alpha-power-law drive currents, distributed RC
+wires, Gaussian threshold-voltage variation) and their coefficients are
+calibrated against the silicon-simulation numbers the paper reports; see
+DESIGN.md section 2 for the substitution rationale.
+"""
+
+from repro.tech.constants import TechnologyNode, IMEC_3NM
+from repro.tech.finfet import FinFetDevice, DeviceType, VtFlavor
+from repro.tech.wire import MetalLayer, Wire, elmore_delay_ns
+from repro.tech.corners import ProcessVariation, CornerSample
+from repro.tech.write_assist import NegativeBitlineAssist, WriteAssistResult
+
+__all__ = [
+    "TechnologyNode",
+    "IMEC_3NM",
+    "FinFetDevice",
+    "DeviceType",
+    "VtFlavor",
+    "MetalLayer",
+    "Wire",
+    "elmore_delay_ns",
+    "ProcessVariation",
+    "CornerSample",
+    "NegativeBitlineAssist",
+    "WriteAssistResult",
+]

@@ -1,0 +1,103 @@
+"""Node-level constants for the technology models.
+
+The numeric values are representative of an imec 3nm FinFET research
+node (CPP/fin-pitch/metal-pitch class figures are taken from public imec
+DTCO publications, refs [19]-[21] of the paper).  They serve as the
+*structural* inputs of the analytical models in this package; the
+quantities the paper actually reports (cell areas, access times and
+energies) are produced by models calibrated on top of these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """Geometric and electrical summary of a logic/SRAM technology node.
+
+    Attributes
+    ----------
+    name:
+        Human-readable node name.
+    vdd:
+        Nominal supply voltage in volts.  The paper operates at 700 mV.
+    contacted_poly_pitch_um:
+        CPP (gate pitch) in micrometres.
+    fin_pitch_um:
+        Fin pitch in micrometres.
+    metal_pitch_um:
+        Minimum metal (M1-class) pitch in micrometres.
+    sram_6t_area_um2:
+        Layout area of the standard 6T bitcell.  The paper reports
+        0.01512 um^2 for imec's 3nm 6T cell (ref [20]).
+    sram_6t_width_um / sram_6t_height_um:
+        Cell footprint.  Width x height must equal the 6T area; the
+        aspect ratio follows the 2-fin-pitch-tall thin-cell style used
+        by FinFET SRAM.
+    temperature_c:
+        Simulation temperature.
+    """
+
+    name: str
+    vdd: float
+    contacted_poly_pitch_um: float
+    fin_pitch_um: float
+    metal_pitch_um: float
+    sram_6t_area_um2: float
+    sram_6t_width_um: float
+    sram_6t_height_um: float
+    temperature_c: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0.0:
+            raise ConfigurationError(f"vdd must be positive, got {self.vdd}")
+        area = self.sram_6t_width_um * self.sram_6t_height_um
+        if abs(area - self.sram_6t_area_um2) > 1e-6:
+            raise ConfigurationError(
+                "6T width x height must equal the 6T area: "
+                f"{self.sram_6t_width_um} x {self.sram_6t_height_um} = {area}"
+                f" != {self.sram_6t_area_um2}"
+            )
+
+
+#: The node used throughout the paper: imec 3nm FinFET at VDD = 700 mV.
+#: The 6T cell area (0.01512 um^2) is the paper's reported value; the
+#: 0.135 x 0.112 um footprint realises it with the standard thin-cell
+#: aspect ratio (cell height = 2 fin pitches + isolation).
+IMEC_3NM = TechnologyNode(
+    name="imec-3nm-finfet",
+    vdd=0.700,
+    contacted_poly_pitch_um=0.045,
+    fin_pitch_um=0.024,
+    metal_pitch_um=0.024,
+    sram_6t_area_um2=0.01512,
+    sram_6t_width_um=0.135,
+    sram_6t_height_um=0.112,
+)
+
+
+@dataclass(frozen=True)
+class SupplySpec:
+    """Operating voltages of an ESAM macro.
+
+    ``vdd`` powers the 6T core, wordlines and logic.  ``vprech`` is the
+    scaled precharge level of the decoupled single-ended read ports — the
+    paper selects 500 mV (section 4.2) as the energy/speed sweet spot.
+    """
+
+    vdd: float = IMEC_3NM.vdd
+    vprech: float = 0.500
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.vprech <= self.vdd:
+            raise ConfigurationError(
+                f"vprech must be in (0, vdd]={self.vdd}, got {self.vprech}"
+            )
+
+
+#: Precharge voltages swept in Figure 7 of the paper.
+FIG7_VPRECH_SWEEP_V = (0.400, 0.500, 0.600, 0.700)

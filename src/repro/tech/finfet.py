@@ -1,0 +1,181 @@
+"""Alpha-power-law FinFET device model.
+
+Transistor-level simulation (Cadence Spectre in the paper) is replaced by
+the classic alpha-power-law MOSFET model (Sakurai & Newton, JSSC 1990),
+which captures the two behaviours the ESAM analysis depends on:
+
+* drive current collapses as the gate overdrive ``Vgs - Vt`` shrinks —
+  this is what makes precharging to 400 mV "much slower" than to 500 mV
+  (paper section 4.2, Figure 7);
+* gate/junction capacitance and subthreshold leakage scale with the
+  number of fins, which is how added read ports load the cell.
+
+The parameter values are representative of a 3nm FinFET logic device
+(~45 uA/fin saturated drive at 700 mV, alpha ~= 1.35 due to velocity
+saturation, Vt ~= 0.28 V for the regular-Vt flavor).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ConfigurationError
+
+
+class DeviceType(Enum):
+    """Channel polarity."""
+
+    NMOS = "nmos"
+    PMOS = "pmos"
+
+
+class VtFlavor(Enum):
+    """Threshold-voltage flavor; HVT trades speed for leakage.
+
+    The paper notes (section 4.4.2) that low-throughput deployments can
+    move to HVT devices to cut power at similar energy/inference.
+    """
+
+    LVT = "lvt"
+    SVT = "svt"
+    HVT = "hvt"
+
+
+#: Threshold voltage in volts per flavor (NMOS magnitude; PMOS mirrored).
+_VT_BY_FLAVOR = {
+    VtFlavor.LVT: 0.230,
+    VtFlavor.SVT: 0.280,
+    VtFlavor.HVT: 0.340,
+}
+
+#: Subthreshold leakage at zero gate bias, per fin, in microamperes.
+#: HVT leaks roughly 30x less than LVT at this node class.
+_ILEAK_BY_FLAVOR = {
+    VtFlavor.LVT: 8.0e-3,
+    VtFlavor.SVT: 1.6e-3,
+    VtFlavor.HVT: 0.25e-3,
+}
+
+#: Subthreshold slope in volts/decade at room temperature.
+_SUBTHRESHOLD_SLOPE_V = 0.075
+
+
+@dataclass(frozen=True)
+class FinFetDevice:
+    """A single FinFET transistor with ``fins`` parallel fins.
+
+    Attributes
+    ----------
+    device_type:
+        NMOS or PMOS.
+    fins:
+        Number of fins (drive strength multiplier).
+    flavor:
+        Vt flavor.
+    k_sat_ua:
+        Saturated drive current per fin at nominal overdrive, in uA.
+        PMOS mobility penalty is applied via ``pmos_factor``.
+    alpha:
+        Velocity-saturation exponent of the alpha-power law.
+    c_gate_ff:
+        Gate capacitance per fin in fF.
+    c_junction_ff:
+        Source/drain junction capacitance per fin in fF.
+    """
+
+    device_type: DeviceType = DeviceType.NMOS
+    fins: int = 1
+    flavor: VtFlavor = VtFlavor.SVT
+    k_sat_ua: float = 45.0
+    alpha: float = 1.35
+    c_gate_ff: float = 0.045
+    c_junction_ff: float = 0.018
+    pmos_factor: float = 0.82
+
+    def __post_init__(self) -> None:
+        if self.fins < 1:
+            raise ConfigurationError(f"fins must be >= 1, got {self.fins}")
+        if self.alpha < 1.0 or self.alpha > 2.0:
+            raise ConfigurationError(
+                f"alpha-power exponent must be in [1, 2], got {self.alpha}"
+            )
+
+    # -- electrical quantities ------------------------------------------------
+
+    @property
+    def vt(self) -> float:
+        """Threshold voltage magnitude in volts."""
+        return _VT_BY_FLAVOR[self.flavor]
+
+    @property
+    def gate_capacitance_ff(self) -> float:
+        """Total gate capacitance in fF."""
+        return self.c_gate_ff * self.fins
+
+    @property
+    def junction_capacitance_ff(self) -> float:
+        """Total drain junction capacitance in fF."""
+        return self.c_junction_ff * self.fins
+
+    def drive_current_ua(self, vgs: float, vt_shift: float = 0.0) -> float:
+        """Saturated drive current in uA at gate-source voltage ``vgs``.
+
+        ``vt_shift`` models process variation (positive shift weakens the
+        device).  Current is zero below threshold (subthreshold conduction
+        is modelled separately by :meth:`leakage_current_ua`).
+        """
+        overdrive = abs(vgs) - (self.vt + vt_shift)
+        if overdrive <= 0.0:
+            return 0.0
+        strength = self.k_sat_ua * self.fins
+        if self.device_type is DeviceType.PMOS:
+            strength *= self.pmos_factor
+        # Normalise so that drive at nominal overdrive (0.42 V at VDD=0.7,
+        # SVT) equals k_sat_ua per fin.
+        nominal_overdrive = 0.700 - _VT_BY_FLAVOR[VtFlavor.SVT]
+        return strength * (overdrive / nominal_overdrive) ** self.alpha
+
+    def effective_resistance_kohm(self, vdd: float, vt_shift: float = 0.0) -> float:
+        """Equivalent switching resistance in kOhm for delay estimates.
+
+        Uses the standard ``R = Vdd / (2 * I_dsat)`` approximation of the
+        averaged discharge current over a full output swing.
+        """
+        current = self.drive_current_ua(vdd, vt_shift)
+        if current <= 0.0:
+            return math.inf
+        return 1e3 * vdd / (2.0 * current)
+
+    def leakage_current_ua(self, vds: float, vt_shift: float = 0.0) -> float:
+        """Subthreshold leakage at Vgs=0 for a drain bias ``vds``, in uA.
+
+        Exponential in the Vt shift (variation makes leakage lognormal)
+        and saturating in ``vds`` via a DIBL-free first-order model.
+        """
+        if vds <= 0.0:
+            return 0.0
+        base = _ILEAK_BY_FLAVOR[self.flavor] * self.fins
+        shift_factor = 10.0 ** (-vt_shift / _SUBTHRESHOLD_SLOPE_V)
+        # Drain-bias dependence: saturates once vds >> kT/q.
+        vds_factor = 1.0 - math.exp(-vds / 0.026)
+        return base * shift_factor * vds_factor
+
+    def leakage_power_mw(self, vds: float, vt_shift: float = 0.0) -> float:
+        """Static power in mW when holding off with ``vds`` across the device."""
+        return self.leakage_current_ua(vds, vt_shift) * vds * 1e-3
+
+
+def discharge_time_ns(c_ff: float, swing_v: float, device: FinFetDevice,
+                      vgs: float, vt_shift: float = 0.0) -> float:
+    """Time for ``device`` to discharge ``c_ff`` by ``swing_v``, in ns.
+
+    First-order constant-current estimate ``t = C * dV / I``; used for
+    bitline-discharge components of the read path.
+    """
+    current = device.drive_current_ua(vgs, vt_shift)
+    if current <= 0.0:
+        return math.inf
+    # fF * V / uA = 1e-15 / 1e-6 s = 1e-9 s = ns
+    return c_ff * swing_v / current

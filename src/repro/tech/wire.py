@@ -1,0 +1,108 @@
+"""Metal-wire RC models (the PEX substitute).
+
+The paper extracts parasitics with Calibre PEX plus line geometries and
+node datasheets (Table 1).  Here each routing layer is an RC-per-length
+abstraction.  Local interconnect at 3nm is extremely resistive — several
+hundred ohms per micron at minimum width — which is why the paper notes
+that narrowing the wordline (to make room for RBL0-RBL3 in the same
+layer) visibly slows the transposed port (section 4.2, Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MetalLayer:
+    """Per-length electrical properties of one routing layer.
+
+    Attributes
+    ----------
+    name:
+        Layer name (M0 is the local SRAM routing layer).
+    r_kohm_per_um:
+        Resistance per micron of minimum-width wire, in kOhm/um.
+    c_ff_per_um:
+        Total (ground + coupling at nominal spacing) capacitance per
+        micron, in fF/um.
+    """
+
+    name: str
+    r_kohm_per_um: float
+    c_ff_per_um: float
+
+    def __post_init__(self) -> None:
+        if self.r_kohm_per_um <= 0.0 or self.c_ff_per_um <= 0.0:
+            raise ConfigurationError(
+                f"layer {self.name}: R and C per um must be positive"
+            )
+
+
+#: Representative 3nm back-end stack (local layers are barrier-dominated
+#: and very resistive; intermediate layers relax quickly).
+M0 = MetalLayer(name="M0", r_kohm_per_um=0.55, c_ff_per_um=0.21)
+M1 = MetalLayer(name="M1", r_kohm_per_um=0.40, c_ff_per_um=0.20)
+M2 = MetalLayer(name="M2", r_kohm_per_um=0.18, c_ff_per_um=0.19)
+M3 = MetalLayer(name="M3", r_kohm_per_um=0.09, c_ff_per_um=0.18)
+
+STACK = (M0, M1, M2, M3)
+
+
+@dataclass(frozen=True)
+class Wire:
+    """A routed wire segment on a given layer.
+
+    ``width_factor`` scales the drawn width relative to minimum: wider
+    wires have proportionally lower resistance and (to first order)
+    slightly higher capacitance.  The multiport cells *narrow* the WL
+    (width_factor < 1) to fit the added read bitlines, which raises its
+    resistance — the mechanism behind the Figure 6 transposed-port
+    slowdown.
+    """
+
+    layer: MetalLayer
+    length_um: float
+    width_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.length_um < 0.0:
+            raise ConfigurationError(f"length must be >= 0, got {self.length_um}")
+        if self.width_factor <= 0.0:
+            raise ConfigurationError(
+                f"width_factor must be positive, got {self.width_factor}"
+            )
+
+    @property
+    def resistance_kohm(self) -> float:
+        """Total wire resistance in kOhm."""
+        return self.layer.r_kohm_per_um * self.length_um / self.width_factor
+
+    def capacitance_ff(self, coupling_factor: float = 1.0) -> float:
+        """Total wire capacitance in fF.
+
+        ``coupling_factor`` models increased sidewall coupling when
+        neighbouring tracks are packed more densely (multiple RBLs routed
+        at tight pitch next to each other).
+        """
+        widening = 1.0 + 0.3 * (self.width_factor - 1.0)
+        return self.layer.c_ff_per_um * self.length_um * widening * coupling_factor
+
+
+def elmore_delay_ns(r_driver_kohm: float, wire: Wire, c_load_ff: float,
+                    coupling_factor: float = 1.0) -> float:
+    """Elmore delay of a driver + distributed wire + lumped load, in ns.
+
+    ``t = R_drv * (C_wire + C_load) + R_wire * (C_wire / 2 + C_load)``
+    — the standard first-order distributed-RC expression.
+    """
+    c_wire = wire.capacitance_ff(coupling_factor)
+    r_wire = wire.resistance_kohm
+    delay = (
+        r_driver_kohm * (c_wire + c_load_ff)
+        + r_wire * (0.5 * c_wire + c_load_ff)
+    )
+    # kOhm * fF -> 1e-3 ns
+    return delay * 1e-3

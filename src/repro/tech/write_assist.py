@@ -1,0 +1,130 @@
+"""Negative-bitline (NBL) write-assist model and array-size design rule.
+
+At resistance-dominated nodes the 6T cell can no longer be written
+reliably through the access transistor alone; the complementary bitline
+is driven *below* VSS by ``V_WD`` to force the flip (Liu et al., TED'22,
+ref [19]).  The required |V_WD| grows with the bitline/wordline
+parasitics — i.e. with the array dimensions and with the extra wire load
+of added read ports.  The paper adopts the rule that a design needing
+``V_WD < -400 mV`` is non-yielding, which caps all ESAM arrays at
+128 x 128 (section 4.1).
+
+Model
+-----
+``|V_WD|(rows, cols, extra_ports) = v0 + k * g * (1 + b * extra_ports)``
+
+with the geometric load factor
+
+``g = 0.5 * (cols / 128)^2.5 + 0.5 * (rows / 128)^2.5``
+
+The super-linear exponent reflects that both the wire RC *and* the
+required write margin grow with line length in a resistance-dominated
+BEOL.  Coefficients are calibrated so that:
+
+* a 128 x 128 6T array needs |V_WD| ~= 180 mV (comfortably yielding),
+* the 1RW+4R cell at 128 x 128 needs ~395 mV (just inside the limit —
+  the paper's statement that 128 is the maximum valid size for *all*
+  cell designs),
+* any 256-deep array violates the -400 mV rule even for the 6T cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, DesignRuleError
+
+#: Yield rule from ref [19]: designs requiring V_WD below this are invalid.
+VWD_LIMIT_V = -0.400
+
+#: Calibrated model coefficients (see module docstring).
+_V0_V = 0.040
+_K_V = 0.140
+_B_PER_PORT = 0.384
+_EXPONENT = 2.5
+_REFERENCE_DIM = 128.0
+
+
+@dataclass(frozen=True)
+class WriteAssistResult:
+    """Outcome of the NBL write-assist analysis for one array geometry.
+
+    Attributes
+    ----------
+    vwd_required_v:
+        Required write-driver undershoot (negative voltage, in volts).
+    valid:
+        True when the design satisfies the -400 mV yield rule.
+    boost_swing_v:
+        Total bitline swing during a write: ``VDD + |V_WD|``.  Write
+        energy scales with the square of this swing, which is why write
+        energy grows faster than read energy with added ports (Figure 6).
+    """
+
+    vwd_required_v: float
+    valid: bool
+    boost_swing_v: float
+
+
+class NegativeBitlineAssist:
+    """Computes required NBL undershoot and validates array geometries."""
+
+    def __init__(self, vdd: float = 0.700, vwd_limit_v: float = VWD_LIMIT_V) -> None:
+        if vdd <= 0.0:
+            raise ConfigurationError(f"vdd must be positive, got {vdd}")
+        if vwd_limit_v >= 0.0:
+            raise ConfigurationError(
+                f"vwd_limit must be negative, got {vwd_limit_v}"
+            )
+        self.vdd = vdd
+        self.vwd_limit_v = vwd_limit_v
+
+    def required_vwd_v(self, rows: int, cols: int, extra_read_ports: int = 0) -> float:
+        """Required (negative) V_WD in volts for the given geometry."""
+        if rows < 1 or cols < 1:
+            raise ConfigurationError("array dimensions must be >= 1")
+        if extra_read_ports < 0:
+            raise ConfigurationError("extra_read_ports must be >= 0")
+        load = 0.5 * (cols / _REFERENCE_DIM) ** _EXPONENT + 0.5 * (
+            rows / _REFERENCE_DIM
+        ) ** _EXPONENT
+        magnitude = _V0_V + _K_V * load * (1.0 + _B_PER_PORT * extra_read_ports)
+        return -magnitude
+
+    def analyze(self, rows: int, cols: int, extra_read_ports: int = 0) -> WriteAssistResult:
+        """Full write-assist analysis for one geometry."""
+        vwd = self.required_vwd_v(rows, cols, extra_read_ports)
+        valid = vwd >= self.vwd_limit_v
+        return WriteAssistResult(
+            vwd_required_v=vwd,
+            valid=valid,
+            boost_swing_v=self.vdd + abs(vwd),
+        )
+
+    def check(self, rows: int, cols: int, extra_read_ports: int = 0) -> WriteAssistResult:
+        """Like :meth:`analyze` but raises :class:`DesignRuleError` if invalid."""
+        result = self.analyze(rows, cols, extra_read_ports)
+        if not result.valid:
+            raise DesignRuleError(
+                f"array {rows}x{cols} with {extra_read_ports} extra read ports "
+                f"requires V_WD = {result.vwd_required_v * 1e3:.0f} mV, below the "
+                f"{self.vwd_limit_v * 1e3:.0f} mV yield limit (Liu et al., TED'22)"
+            )
+        return result
+
+    def max_square_array(self, extra_read_ports: int = 0,
+                         candidates: tuple[int, ...] = (32, 64, 128, 256, 512)) -> int:
+        """Largest valid square array dimension among ``candidates``.
+
+        The paper concludes this is 128 for every cell design.
+        """
+        best = 0
+        for dim in sorted(candidates):
+            if self.analyze(dim, dim, extra_read_ports).valid:
+                best = dim
+        if best == 0:
+            raise DesignRuleError(
+                f"no valid array size among {candidates} for "
+                f"{extra_read_ports} extra read ports"
+            )
+        return best

@@ -1,0 +1,24 @@
+"""Tile and system composition (paper Figure 2 and section 4.4).
+
+A Tile couples per-row-block arbiters, a grid of SRAM macros and a
+neuron array; tiles cascade directly to form multi-layer networks,
+with spikes passed fully in parallel as binary pulses.
+"""
+
+from repro.tile.pipeline import PipelineModel, PipelineStageReport
+from repro.tile.mapping import LayerMapping
+from repro.tile.tile import Tile, TileInferenceStats
+from repro.tile.network import EsamNetwork, InferenceTrace
+from repro.tile.scheduler import PipelinedScheduler, PipelineRunReport
+
+__all__ = [
+    "PipelineModel",
+    "PipelineStageReport",
+    "LayerMapping",
+    "Tile",
+    "TileInferenceStats",
+    "EsamNetwork",
+    "InferenceTrace",
+    "PipelinedScheduler",
+    "PipelineRunReport",
+]

@@ -1,0 +1,91 @@
+"""Layer-to-array mapping (section 4.4.2).
+
+A fully-connected layer of ``n_in x n_out`` binary weights is blocked
+onto a grid of 128x128 SRAM arrays: ``ceil(n_in / 128)`` row blocks by
+``ceil(n_out / 128)`` column blocks.  Each *row block* gets its own
+128-wide arbiter (the paper: "Each SRAM has its own 128-wide Arbiter"),
+so a 256-wide input layer can grant ``2 x p`` spikes per cycle.
+
+Partial blocks are zero-padded; the padded rows can never receive
+spikes and the padded columns have no neurons attached.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Maximum array dimension allowed by the write-assist yield rule.
+ARRAY_DIM = 128
+
+
+@dataclass(frozen=True)
+class LayerMapping:
+    """Blocking of one fully-connected layer onto 128x128 arrays."""
+
+    n_in: int
+    n_out: int
+    array_dim: int = ARRAY_DIM
+
+    def __post_init__(self) -> None:
+        if self.n_in < 1 or self.n_out < 1:
+            raise ConfigurationError("layer dimensions must be >= 1")
+        if self.array_dim < 1:
+            raise ConfigurationError("array_dim must be >= 1")
+
+    @property
+    def row_blocks(self) -> int:
+        return math.ceil(self.n_in / self.array_dim)
+
+    @property
+    def col_blocks(self) -> int:
+        return math.ceil(self.n_out / self.array_dim)
+
+    @property
+    def array_count(self) -> int:
+        return self.row_blocks * self.col_blocks
+
+    @property
+    def arbiter_count(self) -> int:
+        """One arbiter per row block."""
+        return self.row_blocks
+
+    def row_slice(self, row_block: int) -> slice:
+        self._check_block(row_block, self.row_blocks, "row")
+        start = row_block * self.array_dim
+        return slice(start, min(start + self.array_dim, self.n_in))
+
+    def col_slice(self, col_block: int) -> slice:
+        self._check_block(col_block, self.col_blocks, "col")
+        start = col_block * self.array_dim
+        return slice(start, min(start + self.array_dim, self.n_out))
+
+    def rows_in_block(self, row_block: int) -> int:
+        s = self.row_slice(row_block)
+        return s.stop - s.start
+
+    def cols_in_block(self, col_block: int) -> int:
+        s = self.col_slice(col_block)
+        return s.stop - s.start
+
+    def block_weights(self, weights: np.ndarray, row_block: int,
+                      col_block: int) -> np.ndarray:
+        """Zero-padded 128x128 weight tile for one array."""
+        weights = np.asarray(weights)
+        if weights.shape != (self.n_in, self.n_out):
+            raise ConfigurationError(
+                f"weights shape {weights.shape} != ({self.n_in}, {self.n_out})"
+            )
+        tile = np.zeros((self.array_dim, self.array_dim), dtype=np.uint8)
+        rs, cs = self.row_slice(row_block), self.col_slice(col_block)
+        tile[: rs.stop - rs.start, : cs.stop - cs.start] = weights[rs, cs]
+        return tile
+
+    @staticmethod
+    def _check_block(idx: int, count: int, kind: str) -> None:
+        if not 0 <= idx < count:
+            raise ConfigurationError(f"{kind} block {idx} out of range [0, {count})")

@@ -1,0 +1,221 @@
+"""Cascaded-tile ESAM network: the spike-by-spike system simulator.
+
+Tiles are cascaded directly (paper Figure 2): output spike requests of
+tile ``k`` become input requests of tile ``k+1``, transmitted in
+parallel as binary pulses with no routing fabric.  The classification
+readout takes the output tile's membrane potentials (the class with the
+highest potential wins; per-class bias offsets from the BNN are added
+digitally).
+
+Timing model (section 4.4): tiles are pipelined — while tile ``k+1``
+drains the spikes of image ``i``, tile ``k`` is already arbitrating
+image ``i+1``.  Sustained throughput is therefore set by the slowest
+tile; single-image latency by the sum of tile drain times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sram.bitcell import CellType
+from repro.sram.electrical import TransposedPortModel
+from repro.sram.readport import ReadPortModel
+from repro.tile.mapping import ARRAY_DIM
+from repro.tile.pipeline import PipelineModel
+from repro.tile.tile import Tile
+
+
+@dataclass
+class InferenceTrace:
+    """Cycle/energy record of one or more inferences through the network."""
+
+    images: int = 0
+    per_tile_cycles: list[int] = field(default_factory=list)
+    total_spikes: int = 0
+    total_grants: int = 0
+    total_array_reads: int = 0
+
+    @property
+    def bottleneck_cycles(self) -> int:
+        """Pipelined steady-state cycles per inference (slowest tile)."""
+        if not self.per_tile_cycles:
+            return 0
+        return max(self.per_tile_cycles)
+
+    @property
+    def latency_cycles(self) -> int:
+        """Single-image latency in cycles (sum of all tiles)."""
+        return sum(self.per_tile_cycles)
+
+
+class EsamNetwork:
+    """A stack of Tiles forming a fully-connected binary SNN."""
+
+    def __init__(self, weights: list[np.ndarray], thresholds: list[np.ndarray],
+                 output_bias: np.ndarray | None = None,
+                 cell_type: CellType = CellType.C1RW4R,
+                 vprech: float = 0.500) -> None:
+        if not weights:
+            raise ConfigurationError("at least one layer is required")
+        if len(weights) != len(thresholds):
+            raise ConfigurationError(
+                f"{len(weights)} weight matrices but {len(thresholds)} "
+                "threshold vectors"
+            )
+        for k in range(len(weights) - 1):
+            if weights[k].shape[1] != weights[k + 1].shape[0]:
+                raise ConfigurationError(
+                    f"layer {k} output width {weights[k].shape[1]} != "
+                    f"layer {k + 1} input width {weights[k + 1].shape[0]}"
+                )
+        self.cell_type = cell_type
+        self.vprech = vprech
+        # Shared electrical models across every macro in the system.
+        self._read_port_model = ReadPortModel(ARRAY_DIM, ARRAY_DIM)
+        self._transposed_model = TransposedPortModel(ARRAY_DIM, ARRAY_DIM)
+        self.pipeline = PipelineModel(ARRAY_DIM, ARRAY_DIM, self._read_port_model)
+        self.tiles = [
+            Tile(
+                w, t, cell_type=cell_type, vprech=vprech,
+                read_port_model=self._read_port_model,
+                transposed_model=self._transposed_model,
+                name=f"tile{k}",
+            )
+            for k, (w, t) in enumerate(zip(weights, thresholds))
+        ]
+        if output_bias is not None:
+            output_bias = np.asarray(output_bias, dtype=np.float64)
+            if output_bias.shape != (self.tiles[-1].n_out,):
+                raise ConfigurationError(
+                    f"output bias shape {output_bias.shape} != "
+                    f"({self.tiles[-1].n_out},)"
+                )
+        self.output_bias = output_bias
+
+    # -- structure ------------------------------------------------------------------
+
+    @property
+    def layer_sizes(self) -> list[int]:
+        return [self.tiles[0].n_in] + [t.n_out for t in self.tiles]
+
+    @property
+    def neuron_count(self) -> int:
+        """Neurons instantiated in hardware (post-synaptic only)."""
+        return sum(t.n_out for t in self.tiles)
+
+    @property
+    def synapse_count(self) -> int:
+        """Logical synapses (weight-matrix entries)."""
+        return sum(t.n_in * t.n_out for t in self.tiles)
+
+    @property
+    def clock_period_ns(self) -> float:
+        return self.pipeline.clock_period_ns(self.cell_type)
+
+    @property
+    def cycle_stretch(self) -> int:
+        """Clock cycles consumed per access cycle.
+
+        When the precharge cannot complete within its pipeline window
+        (low Vprech on 3-4-port cells — Figure 7), every access stalls
+        for one extra clock, halving the effective spike rate.
+        """
+        point = self._read_port_model.operating_point(self.cell_type, self.vprech)
+        return 2 if point.extended_precharge else 1
+
+    # -- inference --------------------------------------------------------------------
+
+    def infer(self, spikes: np.ndarray, trace: InferenceTrace | None = None,
+              ) -> np.ndarray:
+        """Run one input spike vector through every tile.
+
+        Returns the output-layer membrane potentials (plus the digital
+        per-class bias if configured).  Appends per-tile cycle counts to
+        ``trace`` when given.
+        """
+        spikes = np.asarray(spikes).astype(bool)
+        cycles_before = [t.stats.total_cycles for t in self.tiles]
+        x = spikes
+        for tile in self.tiles[:-1]:
+            x = tile.run_inference(x)
+        vmem = self.tiles[-1].run_inference(x, readout=True).astype(np.float64)
+        if self.output_bias is not None:
+            vmem = vmem + self.output_bias
+        if trace is not None:
+            trace.images += 1
+            per_tile = [
+                t.stats.total_cycles - b
+                for t, b in zip(self.tiles, cycles_before)
+            ]
+            if trace.per_tile_cycles:
+                trace.per_tile_cycles = [
+                    a + b for a, b in zip(trace.per_tile_cycles, per_tile)
+                ]
+            else:
+                trace.per_tile_cycles = per_tile
+            trace.total_spikes = sum(t.stats.input_spikes for t in self.tiles)
+            trace.total_grants = sum(t.stats.grants for t in self.tiles)
+            trace.total_array_reads = sum(t.stats.array_reads for t in self.tiles)
+        return vmem
+
+    def classify(self, spikes: np.ndarray, trace: InferenceTrace | None = None) -> int:
+        """Predicted class: arg-max over output membrane potentials."""
+        return int(np.argmax(self.infer(spikes, trace)))
+
+    def run_temporal(self, spike_trains: np.ndarray):
+        """Multi-timestep operation with persistent membranes.
+
+        ``spike_trains`` has shape ``(T, n_in)``.  Every timestep each
+        tile drains its spikes and fires with fired-only membrane reset
+        (IF dynamics); output-layer spikes are counted for the rate
+        readout.  Semantically identical to
+        :class:`repro.snn.temporal.TemporalBinarySNN` (asserted by the
+        test suite), but executed on the cycle-accurate hardware.
+        """
+        from repro.snn.temporal import TemporalResult
+
+        trains = np.atleast_2d(np.asarray(spike_trains)).astype(bool)
+        if trains.shape[1] != self.tiles[0].n_in:
+            raise ConfigurationError(
+                f"spike width {trains.shape[1]} != {self.tiles[0].n_in}"
+            )
+        n_out = self.tiles[-1].n_out
+        out_counts = np.zeros(n_out, dtype=np.int64)
+        hidden_totals = np.zeros(trains.shape[0], dtype=np.int64)
+        for t, spikes in enumerate(trains):
+            x = spikes
+            for k, tile in enumerate(self.tiles):
+                x = tile.run_timestep(x)
+                if k < len(self.tiles) - 1:
+                    hidden_totals[t] += int(x.sum())
+            out_counts += x.astype(np.int64)
+        final = self.tiles[-1].membrane_potentials().astype(np.float64)
+        if self.output_bias is not None:
+            final = final + self.output_bias
+        return TemporalResult(
+            spike_counts=out_counts[None, :],
+            final_vmem=final[None, :],
+            hidden_spike_totals=hidden_totals,
+        )
+
+    # -- cost roll-ups -------------------------------------------------------------------
+
+    def dynamic_energy_pj(self) -> float:
+        return sum(t.dynamic_energy_pj() for t in self.tiles)
+
+    def leakage_power_mw(self) -> float:
+        return sum(t.leakage_power_mw() for t in self.tiles)
+
+    def area_um2(self) -> float:
+        return sum(t.area_um2() for t in self.tiles)
+
+    def reset_stats(self) -> None:
+        for tile in self.tiles:
+            tile.reset_stats()
+
+    def __repr__(self) -> str:
+        sizes = ":".join(str(s) for s in self.layer_sizes)
+        return f"EsamNetwork({sizes}, {self.cell_type.value})"

@@ -1,0 +1,279 @@
+"""Cycle-accurate CIM-P tile (paper Figure 2).
+
+A Tile holds one fully-connected layer:
+
+* one :class:`~repro.arbiter.cascaded.MultiPortArbiter` per 128-row
+  block of inputs;
+* a grid of :class:`~repro.sram.macro.SramMacro` arrays (row blocks x
+  column blocks) storing the binary weights;
+* one :class:`~repro.neuron.array.NeuronArray` segment per column block
+  (a neuron's synapses span every row block, so per cycle a neuron can
+  receive up to ``row_blocks x p`` valid contributions).
+
+Each simulated clock cycle: every arbiter grants up to ``p`` pending
+spikes; the granted wordlines are read in all of that row block's
+column arrays; the sensed bits (with validity flags) are accumulated by
+the neurons.  When every arbiter reports ``R_empty``, the neurons run
+their threshold comparison and raise output spike requests (one extra
+cycle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arbiter.analysis import arbiter_energy_per_cycle_pj
+from repro.arbiter.cascaded import MultiPortArbiter
+from repro.errors import ConfigurationError, SimulationError
+from repro.neuron.array import NeuronArray
+from repro.sram.bitcell import CellType
+from repro.sram.macro import SramMacro
+from repro.sram.readport import ReadPortModel
+from repro.sram.electrical import TransposedPortModel
+from repro.tile.mapping import ARRAY_DIM, LayerMapping
+
+
+@dataclass
+class TileInferenceStats:
+    """Per-inference activity of one tile."""
+
+    cycles: int = 0
+    fire_cycles: int = 0
+    input_spikes: int = 0
+    grants: int = 0
+    array_reads: int = 0
+    output_spikes: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return self.cycles + self.fire_cycles
+
+
+class Tile:
+    """One layer of the ESAM system, simulated spike-by-spike."""
+
+    def __init__(self, weights: np.ndarray, thresholds: np.ndarray,
+                 cell_type: CellType = CellType.C1RW4R, vprech: float = 0.500,
+                 read_port_model: ReadPortModel | None = None,
+                 transposed_model: TransposedPortModel | None = None,
+                 name: str = "tile") -> None:
+        weights = np.asarray(weights)
+        thresholds = np.asarray(thresholds)
+        if weights.ndim != 2:
+            raise ConfigurationError("weights must be a 2-D matrix")
+        if thresholds.shape != (weights.shape[1],):
+            raise ConfigurationError(
+                f"thresholds shape {thresholds.shape} != ({weights.shape[1]},)"
+            )
+        self.name = name
+        self.cell_type = cell_type
+        self.vprech = vprech
+        self.n_in, self.n_out = weights.shape
+        self.mapping = LayerMapping(self.n_in, self.n_out)
+        self.ports = cell_type.inference_ports
+        # Shared electrical models (one instance across all macros).
+        read_ports = read_port_model or ReadPortModel(ARRAY_DIM, ARRAY_DIM)
+        transposed = transposed_model or TransposedPortModel(ARRAY_DIM, ARRAY_DIM)
+        self._read_port_model = read_ports
+        self._transposed_model = transposed
+        # Arbiters: one per row block.
+        self.arbiters = [
+            MultiPortArbiter(ARRAY_DIM, self.ports)
+            for _ in range(self.mapping.row_blocks)
+        ]
+        # Macro grid indexed [row_block][col_block].
+        self.macros: list[list[SramMacro]] = []
+        for rb in range(self.mapping.row_blocks):
+            row = []
+            for cb in range(self.mapping.col_blocks):
+                macro = SramMacro(
+                    cell_type, ARRAY_DIM, ARRAY_DIM, vprech,
+                    read_port_model=read_ports, transposed_model=transposed,
+                )
+                macro.load_weights(self.mapping.block_weights(weights, rb, cb))
+                row.append(macro)
+            self.macros.append(row)
+        # Neurons: one segment per column block (padded columns excluded).
+        self.neurons: list[NeuronArray] = []
+        for cb in range(self.mapping.col_blocks):
+            cols = self.mapping.cols_in_block(cb)
+            cs = self.mapping.col_slice(cb)
+            self.neurons.append(
+                NeuronArray(
+                    thresholds[cs],
+                    ports=self.ports * self.mapping.row_blocks,
+                    multiport=cell_type.is_multiport,
+                )
+            )
+        self._arbiter_cycle_energy_pj = arbiter_energy_per_cycle_pj(
+            ARRAY_DIM, self.ports, tree=True
+        )
+        self.arbiter_energy_pj = 0.0
+        self.stats = TileInferenceStats()
+
+    # -- weight access (for online learning) --------------------------------------
+
+    def weight_matrix(self) -> np.ndarray:
+        """Reassemble the logical weight matrix from the macro grid."""
+        out = np.zeros((self.n_in, self.n_out), dtype=np.uint8)
+        for rb in range(self.mapping.row_blocks):
+            rs = self.mapping.row_slice(rb)
+            for cb in range(self.mapping.col_blocks):
+                cs = self.mapping.col_slice(cb)
+                bits = self.macros[rb][cb].array.dump_weights()
+                out[rs, cs] = bits[: rs.stop - rs.start, : cs.stop - cs.start]
+        return out
+
+    def macro_for_neuron(self, neuron: int, row_block: int) -> tuple[SramMacro, int]:
+        """The macro and local column storing ``neuron``'s synapses for
+        one row block (used by the online-learning engine)."""
+        if not 0 <= neuron < self.n_out:
+            raise ConfigurationError(f"neuron {neuron} out of range")
+        cb, local_col = divmod(neuron, ARRAY_DIM)
+        return self.macros[row_block][cb], local_col
+
+    # -- cycle-accurate inference ---------------------------------------------------
+
+    def submit_spikes(self, spikes: np.ndarray) -> int:
+        """Latch an input spike vector into the row-block arbiters."""
+        spikes = np.asarray(spikes).astype(bool)
+        if spikes.shape != (self.n_in,):
+            raise ConfigurationError(
+                f"spike vector shape {spikes.shape} != ({self.n_in},)"
+            )
+        for rb, arbiter in enumerate(self.arbiters):
+            rs = self.mapping.row_slice(rb)
+            block = np.zeros(ARRAY_DIM, dtype=bool)
+            block[: rs.stop - rs.start] = spikes[rs]
+            arbiter.submit(block)
+        n = int(spikes.sum())
+        self.stats.input_spikes += n
+        return n
+
+    @property
+    def r_empty(self) -> bool:
+        return all(arbiter.r_empty for arbiter in self.arbiters)
+
+    def step(self) -> int:
+        """One clock cycle across all row blocks; returns grants issued."""
+        grants_this_cycle = 0
+        for rb, arbiter in enumerate(self.arbiters):
+            grant = arbiter.step()
+            if grant.grant_count == 0:
+                continue
+            grants_this_cycle += grant.grant_count
+            valid = np.ones(grant.grant_count, dtype=bool)
+            for cb in range(self.mapping.col_blocks):
+                bits = self.macros[rb][cb].serve_spikes(grant.granted_rows)
+                cols = self.mapping.cols_in_block(cb)
+                self.neurons[cb].accumulate(bits[:, :cols], valid)
+                self.stats.array_reads += grant.grant_count
+        self.stats.cycles += 1
+        self.stats.grants += grants_this_cycle
+        self.arbiter_energy_pj += (
+            self._arbiter_cycle_energy_pj * len(self.arbiters)
+        )
+        return grants_this_cycle
+
+    def fire(self, reset_all: bool = True) -> np.ndarray:
+        """R_empty reached: run the threshold comparison (one cycle).
+
+        Returns the output spike vector of length ``n_out``.  See
+        :meth:`NeuronArray.fire_check` for ``reset_all`` semantics.
+        """
+        if not self.r_empty:
+            raise SimulationError(
+                "fire() before R_empty: spike requests are still pending"
+            )
+        out = np.zeros(self.n_out, dtype=bool)
+        for cb, neurons in enumerate(self.neurons):
+            neurons.fire_check(reset_all=reset_all)
+            cs = self.mapping.col_slice(cb)
+            out[cs] = neurons.take_requests()
+        self.stats.fire_cycles += 1
+        self.stats.output_spikes += int(out.sum())
+        return out
+
+    def run_timestep(self, spikes: np.ndarray) -> np.ndarray:
+        """One temporal timestep: drain the spikes, fire, keep charge.
+
+        Unlike :meth:`run_inference`, non-firing membranes persist —
+        the multi-timestep IF dynamics of :mod:`repro.snn.temporal`.
+        """
+        self.submit_spikes(spikes)
+        while not self.r_empty:
+            self.step()
+        return self.fire(reset_all=False)
+
+    def membrane_potentials(self) -> np.ndarray:
+        """Current Vmem of every (non-padded) neuron."""
+        return np.concatenate(
+            [n.membrane_potentials() for n in self.neurons]
+        )[: self.n_out]
+
+    def run_inference(self, spikes: np.ndarray, readout: bool = False,
+                      ) -> np.ndarray:
+        """Process one full input spike vector to completion.
+
+        With ``readout=True`` the membrane potentials are returned
+        *instead* of firing (output-layer classification readout); the
+        neurons are reset afterwards.
+        """
+        self.submit_spikes(spikes)
+        while not self.r_empty:
+            self.step()
+        if readout:
+            vmem = np.concatenate(
+                [
+                    self.neurons[cb].membrane_potentials()
+                    for cb in range(self.mapping.col_blocks)
+                ]
+            )[: self.n_out]
+            for neurons in self.neurons:
+                neurons.reset()
+            self.stats.fire_cycles += 1
+            return vmem
+        return self.fire()
+
+    # -- cost roll-ups ---------------------------------------------------------------
+
+    def dynamic_energy_pj(self) -> float:
+        """All dynamic energy logged so far (reads + neurons + arbiters)."""
+        macro_pj = sum(
+            m.ledger.dynamic_energy_pj for row in self.macros for m in row
+        )
+        neuron_pj = sum(n.dynamic_energy_pj() for n in self.neurons)
+        return macro_pj + neuron_pj + self.arbiter_energy_pj
+
+    def leakage_power_mw(self) -> float:
+        """Static power of all macros in this tile."""
+        return sum(m.leakage_power_mw for row in self.macros for m in row)
+
+    def area_um2(self) -> float:
+        """Tile area: macros + arbiters + neurons."""
+        from repro.arbiter.analysis import arbiter_area_um2
+        from repro.system.area import neuron_array_area_um2
+
+        macro = sum(m.area_um2 for row in self.macros for m in row)
+        arb = arbiter_area_um2(ARRAY_DIM, self.ports) * len(self.arbiters)
+        neurons = neuron_array_area_um2(self.n_out, self.ports)
+        return macro + arb + neurons
+
+    def reset_stats(self) -> None:
+        self.stats = TileInferenceStats()
+        self.arbiter_energy_pj = 0.0
+        for row in self.macros:
+            for macro in row:
+                macro.reset_ledger()
+        for neurons in self.neurons:
+            neurons.reset()
+        for arbiter in self.arbiters:
+            arbiter.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"Tile({self.name}, {self.n_in}x{self.n_out}, "
+            f"{self.cell_type.value}, {self.mapping.array_count} arrays)"
+        )

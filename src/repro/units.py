@@ -1,0 +1,142 @@
+"""Unit conventions and helpers used throughout the ESAM reproduction.
+
+The code base uses a single set of base units so that quantities can be
+combined without conversion mistakes:
+
+============  ==========================  =================
+Quantity      Base unit                   Typical notation
+============  ==========================  =================
+time          nanoseconds (ns)            ``t_ns``
+energy        picojoules (pJ)             ``e_pj``
+power         milliwatts (mW)             ``p_mw``
+voltage       volts (V)                   ``v``
+capacitance   femtofarads (fF)            ``c_ff``
+resistance    kiloohms (kOhm)             ``r_kohm``
+current       microamperes (uA)           ``i_ua``
+area          square micrometres (um^2)   ``area_um2``
+length        micrometres (um)            ``len_um``
+frequency     megahertz (MHz)             ``f_mhz``
+============  ==========================  =================
+
+These are chosen because they compose cleanly:
+
+* ``kOhm * fF  -> ps / 1000 = ns * 1e-3``  (see :func:`rc_delay_ns`)
+* ``fF * V^2  -> fJ = 1e-3 pJ``            (see :func:`cv2_energy_pj`)
+* ``pJ / ns   -> mW``                      (power from energy over time)
+* ``uA * ns   -> fC``; ``fC * V -> fJ``
+
+The module also provides formatting helpers used by the report renderers.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Scale factors relative to SI base units.
+# ---------------------------------------------------------------------------
+
+NS_PER_S = 1e9
+PJ_PER_J = 1e12
+MW_PER_W = 1e3
+FF_PER_F = 1e15
+KOHM_PER_OHM = 1e-3
+UA_PER_A = 1e6
+MHZ_PER_HZ = 1e-6
+
+# Convenience multipliers for literals written in other units.
+PS = 1e-3     # picoseconds expressed in ns
+US = 1e3      # microseconds expressed in ns
+MV = 1e-3     # millivolts expressed in volts
+FJ = 1e-3     # femtojoules expressed in pJ
+NJ = 1e3      # nanojoules expressed in pJ
+UW = 1e-3     # microwatts expressed in mW
+NW = 1e-6     # nanowatts expressed in mW
+
+
+def rc_delay_ns(r_kohm: float, c_ff: float) -> float:
+    """Return the RC product of ``r_kohm`` and ``c_ff`` in nanoseconds.
+
+    ``kOhm * fF = 1e3 * 1e-15 s = 1e-12 s = 1e-3 ns``.
+    """
+    return r_kohm * c_ff * 1e-3
+
+
+def cv2_energy_pj(c_ff: float, v: float) -> float:
+    """Return the full-swing switching energy ``C * V^2`` in picojoules.
+
+    ``fF * V^2 = 1e-15 J = 1e-3 pJ``.  Note this is the energy drawn from
+    the supply for a full charge/discharge cycle; a single charging event
+    dissipates half of it, but CMOS cycling dissipates the full amount.
+    """
+    return c_ff * v * v * 1e-3
+
+
+def charge_energy_pj(c_ff: float, v_supply: float, v_swing: float) -> float:
+    """Energy drawn from a supply at ``v_supply`` to swing ``c_ff`` by ``v_swing``.
+
+    ``E = C * V_supply * dV`` — the standard expression for partial-swing
+    (e.g. precharge-to-``Vprech``) bitline energy.  Result in picojoules.
+    """
+    return c_ff * v_supply * v_swing * 1e-3
+
+
+def power_mw(energy_pj: float, time_ns: float) -> float:
+    """Average power in milliwatts for ``energy_pj`` spent over ``time_ns``."""
+    if time_ns <= 0.0:
+        raise ValueError(f"time must be positive, got {time_ns} ns")
+    return energy_pj / time_ns
+
+
+def frequency_mhz(period_ns: float) -> float:
+    """Clock frequency in MHz for a period in nanoseconds."""
+    if period_ns <= 0.0:
+        raise ValueError(f"period must be positive, got {period_ns} ns")
+    return 1e3 / period_ns
+
+
+def throughput_per_s(items: float, time_ns: float) -> float:
+    """Items per second given ``items`` completed in ``time_ns``."""
+    if time_ns <= 0.0:
+        raise ValueError(f"time must be positive, got {time_ns} ns")
+    return items * NS_PER_S / time_ns
+
+
+# ---------------------------------------------------------------------------
+# Human-readable formatting (used by repro.system.report).
+# ---------------------------------------------------------------------------
+
+_SI_PREFIXES = [
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+]
+
+
+def si_format(value: float, unit: str, digits: int = 3) -> str:
+    """Format ``value`` (in base SI units) with an engineering prefix.
+
+    >>> si_format(44e6, 'Inf/s')
+    '44.0 MInf/s'
+    >>> si_format(607e-12, 'J')
+    '607 pJ'
+    """
+    if value == 0.0:
+        return f"0 {unit}"
+    magnitude = abs(value)
+    for scale, prefix in _SI_PREFIXES:
+        if magnitude >= scale:
+            scaled = value / scale
+            return f"{scaled:.{digits}g} {prefix}{unit}"
+    scale, prefix = _SI_PREFIXES[-1]
+    return f"{value / scale:.{digits}g} {prefix}{unit}"
+
+
+def format_ratio(value: float, digits: int = 1) -> str:
+    """Format a ratio as e.g. ``'3.1x'``."""
+    return f"{value:.{digits}f}x"

@@ -1,0 +1,36 @@
+"""Shared fixtures: trained models and common hardware objects.
+
+The "fast" reference model (1500 digits, 4 epochs) trains in a few
+seconds and is cached on disk, so the integration tests stay quick
+after the first run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.learning.pretrained import ReferenceModel, get_reference_model
+from repro.sram.electrical import TransposedPortModel
+from repro.sram.readport import ReadPortModel
+
+
+@pytest.fixture(scope="session")
+def fast_model() -> ReferenceModel:
+    """Small trained network + dataset (cached across the session)."""
+    return get_reference_model(quality="fast", seed=42)
+
+
+@pytest.fixture(scope="session")
+def transposed_model() -> TransposedPortModel:
+    return TransposedPortModel()
+
+
+@pytest.fixture(scope="session")
+def read_port_model() -> ReadPortModel:
+    return ReadPortModel()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,107 @@
+"""Gate library and netlist graph."""
+
+import pytest
+
+from repro.arbiter.gates import STD_CELLS, Netlist
+from repro.errors import ConfigurationError, SimulationError
+
+
+class TestGateEvaluation:
+    @pytest.mark.parametrize("a,b,expected", [
+        (False, False, True), (False, True, True),
+        (True, False, True), (True, True, False),
+    ])
+    def test_nand2(self, a, b, expected):
+        assert STD_CELLS["NAND2"].evaluate((a, b)) is expected
+
+    def test_inv(self):
+        assert STD_CELLS["INV"].evaluate((True,)) is False
+
+    def test_andnot(self):
+        assert STD_CELLS["ANDNOT2"].evaluate((True, False)) is True
+        assert STD_CELLS["ANDNOT2"].evaluate((True, True)) is False
+
+    def test_mux2(self):
+        # (select, in1, in0)
+        assert STD_CELLS["MUX2"].evaluate((True, True, False)) is True
+        assert STD_CELLS["MUX2"].evaluate((False, True, False)) is False
+
+    def test_and3(self):
+        assert STD_CELLS["AND3"].evaluate((True, True, True)) is True
+        assert STD_CELLS["AND3"].evaluate((True, True, False)) is False
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(SimulationError):
+            STD_CELLS["AND2"].evaluate((True,))
+
+
+class TestNetlist:
+    def _xor_netlist(self) -> Netlist:
+        """a XOR b from NAND gates."""
+        net = Netlist("xor")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_gate("NAND2", "n1", "a", "b")
+        net.add_gate("NAND2", "n2", "a", "n1")
+        net.add_gate("NAND2", "n3", "b", "n1")
+        net.add_gate("NAND2", "y", "n2", "n3")
+        return net
+
+    @pytest.mark.parametrize("a", [False, True])
+    @pytest.mark.parametrize("b", [False, True])
+    def test_xor_truth_table(self, a, b):
+        values = self._xor_netlist().evaluate({"a": a, "b": b})
+        assert values["y"] is (a != b)
+
+    def test_critical_path(self):
+        net = self._xor_netlist()
+        # Longest path: 3 NAND2 levels.
+        assert net.critical_path_ps() == pytest.approx(
+            3 * STD_CELLS["NAND2"].delay_ps
+        )
+
+    def test_critical_path_to_named_output(self):
+        net = self._xor_netlist()
+        assert net.critical_path_ps(["n1"]) == pytest.approx(
+            STD_CELLS["NAND2"].delay_ps
+        )
+
+    def test_area(self):
+        assert self._xor_netlist().area_ge() == pytest.approx(4.0)
+
+    def test_switching_energy_scales_with_activity(self):
+        net = self._xor_netlist()
+        assert net.switching_energy_fj(0.4) == pytest.approx(
+            2.0 * net.switching_energy_fj(0.2)
+        )
+
+    def test_duplicate_net_rejected(self):
+        net = Netlist("dup")
+        net.add_input("a")
+        with pytest.raises(ConfigurationError):
+            net.add_input("a")
+
+    def test_undefined_input_rejected(self):
+        net = Netlist("bad")
+        net.add_input("a")
+        with pytest.raises(ConfigurationError):
+            net.add_gate("INV", "y", "nonexistent")
+
+    def test_unknown_gate_rejected(self):
+        net = Netlist("bad")
+        net.add_input("a")
+        with pytest.raises(ConfigurationError):
+            net.add_gate("XNOR9", "y", "a")
+
+    def test_missing_input_value_rejected(self):
+        net = self._xor_netlist()
+        with pytest.raises(SimulationError):
+            net.evaluate({"a": True})
+
+    def test_unknown_output_rejected(self):
+        with pytest.raises(SimulationError):
+            self._xor_netlist().critical_path_ps(["zzz"])
+
+    def test_bad_activity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._xor_netlist().switching_energy_fj(1.5)

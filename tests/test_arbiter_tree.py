@@ -1,0 +1,78 @@
+"""Tree priority encoder: functional equivalence with the flat encoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arbiter.priority_encoder import priority_encode
+from repro.arbiter.tree import TreePriorityEncoder
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_rejects_indivisible_width(self):
+        with pytest.raises(ConfigurationError):
+            TreePriorityEncoder(100, base_width=64)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            TreePriorityEncoder(0)
+
+    def test_base_count(self):
+        assert TreePriorityEncoder(128, 64).n_base == 2
+        assert TreePriorityEncoder(128, 32).n_base == 4
+
+
+class TestEquivalenceWithFlat:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=120, deadline=None)
+    def test_matches_flat_32bit(self, pattern):
+        tree = TreePriorityEncoder(32, base_width=8)
+        r = np.array([(pattern >> i) & 1 for i in range(32)], dtype=bool)
+        g_flat, m_flat, n_flat = priority_encode(r)
+        g_tree, m_tree, n_tree = tree.encode(r)
+        assert (g_flat == g_tree).all()
+        assert (m_flat == m_tree).all()
+        assert n_flat == n_tree
+
+    def test_request_in_each_base_segment(self):
+        tree = TreePriorityEncoder(128, base_width=64)
+        for pos in (0, 63, 64, 127):
+            r = np.zeros(128, dtype=bool)
+            r[pos] = True
+            grant, _, no_r = tree.encode(r)
+            assert grant[pos] and not no_r
+
+    def test_leftmost_across_segments(self):
+        """Request in base 1 must lose to a request in base 0."""
+        tree = TreePriorityEncoder(128, base_width=64)
+        r = np.zeros(128, dtype=bool)
+        r[70] = True
+        r[10] = True
+        grant, _, _ = tree.encode(r)
+        assert grant[10] and not grant[70]
+
+    def test_empty(self):
+        tree = TreePriorityEncoder(64, base_width=16)
+        grant, remaining, no_r = tree.encode(np.zeros(64, dtype=bool))
+        assert no_r and not grant.any()
+
+
+class TestGateLevel:
+    @given(st.integers(min_value=0, max_value=2**24 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_netlist_matches_behavioral(self, pattern):
+        tree = TreePriorityEncoder(24, base_width=8)
+        net = tree.build_netlist()
+        r = np.array([(pattern >> i) & 1 for i in range(24)], dtype=bool)
+        g1, m1, n1 = tree.encode(r)
+        g2, m2, n2 = tree.encode_gate_level(r, netlist=net)
+        assert (g1 == g2).all()
+        assert (m1 == m2).all()
+        assert n1 == n2
+
+    def test_shape_checked(self):
+        tree = TreePriorityEncoder(16, base_width=8)
+        with pytest.raises(ConfigurationError):
+            tree.encode(np.zeros(8))

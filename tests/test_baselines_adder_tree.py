@@ -1,0 +1,85 @@
+"""Adder-tree baseline macro (the intro's comparison point)."""
+
+import pytest
+
+from repro.baselines.adder_tree import AdderTreeMacro, compare_with_cimp
+from repro.errors import ConfigurationError
+from repro.sram.bitcell import CellType
+from repro.sram.layout import floorplan
+from repro.sram.readport import ReadPortModel
+
+
+@pytest.fixture(scope="module")
+def macro() -> AdderTreeMacro:
+    return AdderTreeMacro(128, 128)
+
+
+class TestStructure:
+    def test_tree_depth(self, macro):
+        assert macro.tree_levels == 7
+
+    def test_adder_slices_roughly_2x_rows(self, macro):
+        """Sum of level widths ~= 2 * rows bit-slices per column."""
+        assert 1.5 * 128 < macro.adder_bits_per_column < 2.5 * 128
+
+    def test_considerable_hardware_overhead(self, macro):
+        """Paper: adder trees introduce considerable hardware overhead —
+        the reduction logic dwarfs the 6T array it reads."""
+        report = macro.report()
+        assert report.tree_area_overhead > 1.0
+
+    def test_adder_tree_macro_bigger_than_esam_macro(self, macro):
+        esam = floorplan(CellType.C1RW4R).macro_area_um2()
+        assert macro.area_um2() > esam
+
+
+class TestEnergy:
+    def test_energy_insensitive_to_sparsity(self, macro):
+        """The tree reads all rows regardless of activity."""
+        dense = macro.energy_per_mvm_pj(input_activity=1.0)
+        sparse = macro.energy_per_mvm_pj(input_activity=0.1)
+        assert sparse > 0.85 * dense
+
+    def test_single_cycle_throughput(self, macro):
+        """One matrix-vector product per (longer) cycle."""
+        assert macro.clock_period_ns() < 1.0
+
+
+class TestComparisonWithCimp:
+    @pytest.fixture(scope="class")
+    def cimp_read_pj(self):
+        model = ReadPortModel()
+        return model.operating_point(CellType.C1RW4R, 0.5).read_energy_pj
+
+    def test_cimp_wins_at_snn_sparsity(self, cimp_read_pj):
+        """At the paper's activity (~15-35 % of 128 rows spiking), the
+        event-driven CIM-P pass is several times cheaper."""
+        result = compare_with_cimp(20.0, cimp_read_pj)
+        assert result["cimp_advantage"] > 3.0
+
+    def test_adder_tree_wins_when_dense(self, cimp_read_pj):
+        """Dense activations push CIM-P past the crossover."""
+        result = compare_with_cimp(128.0, cimp_read_pj)
+        assert result["crossover_spikes"] < 128.0
+        assert result["cimp_advantage"] < 1.0
+
+    def test_crossover_consistency(self, cimp_read_pj):
+        result = compare_with_cimp(50.0, cimp_read_pj)
+        at_crossover = compare_with_cimp(
+            result["crossover_spikes"], cimp_read_pj
+        )
+        assert at_crossover["cimp_advantage"] == pytest.approx(1.0, rel=0.1)
+
+
+class TestValidation:
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ConfigurationError):
+            AdderTreeMacro(1, 128)
+
+    def test_rejects_bad_activity(self, macro):
+        with pytest.raises(ConfigurationError):
+            macro.energy_per_mvm_pj(input_activity=1.5)
+
+    def test_rejects_negative_spikes(self):
+        with pytest.raises(ConfigurationError):
+            compare_with_cimp(-1.0, 0.3)

@@ -1,0 +1,82 @@
+"""Synthetic digit dataset (the MNIST substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.data.digits import IMAGE_SIZE, DigitGenerator, render_digit
+from repro.data.loader import load_dataset
+from repro.errors import ConfigurationError
+
+
+class TestRenderDigit:
+    def test_shape_and_range(self):
+        img = render_digit(3, np.random.default_rng(0))
+        assert img.shape == (IMAGE_SIZE, IMAGE_SIZE)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_all_classes_render_nonempty(self):
+        for digit in range(10):
+            img = render_digit(digit, np.random.default_rng(1))
+            assert img.sum() > 5.0, f"digit {digit} rendered empty"
+
+    def test_canonical_glyphs_differ(self):
+        """Without jitter, the ten classes are pairwise distinct."""
+        glyphs = [render_digit(d, jitter=False) for d in range(10)]
+        for i in range(10):
+            for j in range(i + 1, 10):
+                diff = np.abs(glyphs[i] - glyphs[j]).mean()
+                assert diff > 0.01, (i, j)
+
+    def test_jitter_varies_instances(self):
+        rng = np.random.default_rng(7)
+        a = render_digit(5, rng)
+        b = render_digit(5, rng)
+        assert np.abs(a - b).mean() > 1e-3
+
+    def test_rejects_bad_digit(self):
+        with pytest.raises(ConfigurationError):
+            render_digit(10)
+
+
+class TestDigitGenerator:
+    def test_deterministic(self):
+        a_imgs, a_labels = DigitGenerator(seed=3).generate(20)
+        b_imgs, b_labels = DigitGenerator(seed=3).generate(20)
+        assert (a_labels == b_labels).all()
+        assert np.allclose(a_imgs, b_imgs)
+
+    def test_respects_class_subset(self):
+        _, labels = DigitGenerator(seed=1).generate(50, classes=(3, 7))
+        assert set(labels.tolist()).issubset({3, 7})
+
+    def test_rejects_bad_args(self):
+        gen = DigitGenerator()
+        with pytest.raises(ConfigurationError):
+            gen.generate(0)
+        with pytest.raises(ConfigurationError):
+            gen.generate(5, classes=())
+
+
+class TestLoader:
+    def test_split_sizes(self):
+        ds = load_dataset(n_train=100, n_test=40, seed=9)
+        assert ds.n_train == 100 and ds.n_test == 40
+
+    def test_cached(self):
+        a = load_dataset(50, 20, seed=11)
+        b = load_dataset(50, 20, seed=11)
+        assert a is b
+
+    def test_train_test_disjoint_generators(self):
+        ds = load_dataset(60, 60, seed=13)
+        # Different generator seeds: the splits are not identical.
+        assert not np.allclose(ds.train_images[:10], ds.test_images[:10])
+
+    def test_class_balance_roughly_uniform(self):
+        ds = load_dataset(1000, 10, seed=17)
+        balance = ds.class_balance()
+        assert balance.min() > 0.05 and balance.max() < 0.16
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            load_dataset(0, 10)

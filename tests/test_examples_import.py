@@ -1,0 +1,31 @@
+"""Smoke tests: every example must at least import and expose main().
+
+Running the examples end-to-end needs the full trained model; importing
+them catches API drift, typos and missing modules cheaply in CI.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[1] / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES]
+)
+def test_example_imports_and_has_main(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(getattr(module, "main", None)), (
+        f"{path.name} must define a main() entry point"
+    )
+
+
+def test_at_least_three_examples_present():
+    """The release contract: a quickstart plus >=2 scenario examples."""
+    assert len(EXAMPLE_FILES) >= 3
+    assert any(p.stem == "quickstart" for p in EXAMPLE_FILES)

@@ -1,0 +1,103 @@
+"""Cross-module integration: trained network through the full stack."""
+
+import numpy as np
+import pytest
+
+from repro.sram.bitcell import ALL_CELLS, CellType
+from repro.snn.encode import encode_images
+from repro.snn.simulate import evaluate_accuracy
+from repro.system.config import SystemConfig
+from repro.system.evaluate import SystemEvaluator
+from repro.tile.network import EsamNetwork, InferenceTrace
+
+
+class TestHardwareVsFunctional:
+    """The cycle-accurate simulator and the batched functional model
+    implement the same mathematics."""
+
+    @pytest.mark.parametrize("cell", [CellType.C6T, CellType.C1RW4R])
+    def test_trained_network_predictions_identical(self, fast_model, cell):
+        snn = fast_model.snn
+        network = EsamNetwork(
+            snn.weights, snn.thresholds, output_bias=snn.output_bias,
+            cell_type=cell,
+        )
+        spikes = encode_images(fast_model.dataset.test_images[:8])
+        functional = snn.to_model().classify(spikes)
+        hardware = np.array([network.classify(s) for s in spikes])
+        assert (hardware == functional).all()
+
+    def test_membrane_scores_identical(self, fast_model):
+        snn = fast_model.snn
+        network = EsamNetwork(
+            snn.weights, snn.thresholds, output_bias=snn.output_bias,
+        )
+        spikes = encode_images(fast_model.dataset.test_images[:4])
+        sw = snn.to_model().forward(spikes)
+        hw = np.stack([network.infer(s) for s in spikes])
+        assert np.allclose(hw, sw)
+
+
+class TestAccuracyPipeline:
+    def test_functional_accuracy_matches_reference(self, fast_model):
+        report = evaluate_accuracy(
+            fast_model.snn.to_model(),
+            fast_model.dataset.test_images,
+            fast_model.dataset.test_labels,
+        )
+        assert report.accuracy == pytest.approx(fast_model.test_accuracy)
+        assert report.total == fast_model.dataset.n_test
+
+    def test_per_class_accuracy_reported(self, fast_model):
+        report = evaluate_accuracy(
+            fast_model.snn.to_model(),
+            fast_model.dataset.test_images[:200],
+            fast_model.dataset.test_labels[:200],
+        )
+        assert report.per_class_accuracy.shape == (10,)
+
+
+class TestEvaluatorSweep:
+    @pytest.fixture(scope="class")
+    def evaluator(self, fast_model):
+        config = SystemConfig(sample_images=6)
+        return SystemEvaluator(config, snn=fast_model.snn)
+
+    def test_throughput_improves_with_ports(self, evaluator):
+        rows = [
+            evaluator.evaluate_cell(c)
+            for c in (CellType.C1RW1R, CellType.C1RW2R, CellType.C1RW4R)
+        ]
+        throughputs = [r.throughput_minf_s for r in rows]
+        assert throughputs[0] < throughputs[1] < throughputs[2]
+
+    def test_energy_per_inf_improves_with_ports(self, evaluator):
+        e1 = evaluator.evaluate_cell(CellType.C1RW1R).energy_per_inf_pj
+        e4 = evaluator.evaluate_cell(CellType.C1RW4R).energy_per_inf_pj
+        assert e4 < e1
+
+    def test_area_grows_with_ports(self, evaluator):
+        a6 = evaluator.evaluate_cell(CellType.C6T).area_mm2
+        a4 = evaluator.evaluate_cell(CellType.C1RW4R).area_mm2
+        assert 1.8 < a4 / a6 < 3.0
+
+    def test_vprech_override(self, evaluator):
+        """Running the decoupled ports at VDD must cost energy."""
+        e500 = evaluator.evaluate_cell(CellType.C1RW4R, vprech=0.5)
+        e700 = evaluator.evaluate_cell(CellType.C1RW4R, vprech=0.7)
+        assert e700.energy_per_inf_pj > e500.energy_per_inf_pj
+
+
+class TestTraceConsistency:
+    def test_trace_reads_match_tile_stats(self, fast_model):
+        snn = fast_model.snn
+        network = EsamNetwork(snn.weights, snn.thresholds,
+                              output_bias=snn.output_bias)
+        trace = InferenceTrace()
+        spikes = encode_images(fast_model.dataset.test_images[:3])
+        for s in spikes:
+            network.infer(s, trace)
+        assert trace.images == 3
+        total_reads = sum(t.stats.array_reads for t in network.tiles)
+        assert trace.total_array_reads == total_reads
+        assert trace.total_grants <= trace.total_array_reads

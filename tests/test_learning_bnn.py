@@ -1,0 +1,95 @@
+"""BNN trainer (STE + Adam, sign activations, per-neuron bias)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TrainingError
+from repro.learning.bnn import BNNTrainer, TrainingConfig
+
+
+def make_separable_problem(rng, n=400, d=32, classes=4):
+    """Binary patterns with class-specific active pixel groups."""
+    labels = rng.integers(0, classes, n)
+    x = (rng.random((n, d)) < 0.1).astype(np.float64)
+    block = d // classes
+    for i, c in enumerate(labels):
+        x[i, c * block:(c + 1) * block] = (rng.random(block) < 0.8)
+    return x, labels
+
+
+class TestTraining:
+    def test_learns_separable_problem(self, rng):
+        x, labels = make_separable_problem(rng)
+        cfg = TrainingConfig(
+            hidden_sizes=(32,), n_classes=4, epochs=12, seed=1,
+            learning_rate=0.02,
+        )
+        model = BNNTrainer(32, cfg).train(x, labels)
+        assert model.train_accuracy > 0.9
+
+    def test_weights_are_binary(self, rng):
+        x, labels = make_separable_problem(rng, n=100)
+        cfg = TrainingConfig(hidden_sizes=(16,), n_classes=4, epochs=2)
+        model = BNNTrainer(32, cfg).train(x, labels)
+        for w in model.weights:
+            assert set(np.unique(w)).issubset({-1, 1})
+
+    def test_deterministic_given_seed(self, rng):
+        x, labels = make_separable_problem(rng, n=100)
+        cfg = TrainingConfig(hidden_sizes=(16,), n_classes=4, epochs=2, seed=3)
+        m1 = BNNTrainer(32, cfg).train(x, labels)
+        m2 = BNNTrainer(32, cfg).train(x, labels)
+        for w1, w2 in zip(m1.weights, m2.weights):
+            assert (w1 == w2).all()
+
+    def test_layer_sizes(self, rng):
+        x, labels = make_separable_problem(rng, n=50)
+        cfg = TrainingConfig(hidden_sizes=(16, 8), n_classes=4, epochs=1)
+        model = BNNTrainer(32, cfg).train(x, labels)
+        assert model.layer_sizes == [32, 16, 8, 4]
+
+    def test_accuracy_helper(self, rng):
+        x, labels = make_separable_problem(rng, n=80)
+        cfg = TrainingConfig(hidden_sizes=(16,), n_classes=4, epochs=4)
+        model = BNNTrainer(32, cfg).train(x, labels)
+        assert model.accuracy(x, labels) == pytest.approx(model.train_accuracy)
+
+
+class TestForward:
+    def test_step_activations_binary(self, rng):
+        x, labels = make_separable_problem(rng, n=60)
+        cfg = TrainingConfig(hidden_sizes=(16,), n_classes=4, epochs=1)
+        model = BNNTrainer(32, cfg).train(x, labels)
+        # Hidden activations must be exactly {0, 1}: probe via logits
+        # linearity — the forward path is integer-valued before bias.
+        logits = model.forward(x[:5])
+        centred = logits - model.biases[-1]
+        assert np.allclose(centred, np.round(centred))
+
+
+class TestValidation:
+    def test_rejects_wrong_input_width(self, rng):
+        trainer = BNNTrainer(32)
+        with pytest.raises(TrainingError):
+            trainer.train(rng.random((10, 16)), rng.integers(0, 4, 10))
+
+    def test_rejects_label_mismatch(self, rng):
+        trainer = BNNTrainer(32)
+        with pytest.raises(TrainingError):
+            trainer.train(rng.random((10, 32)), rng.integers(0, 4, 8))
+
+    def test_rejects_out_of_range_labels(self, rng):
+        cfg = TrainingConfig(n_classes=4, epochs=1)
+        trainer = BNNTrainer(32, cfg)
+        with pytest.raises(TrainingError):
+            trainer.train(rng.random((10, 32)), np.full(10, 9))
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrainingConfig(epochs=0)
+        with pytest.raises(ConfigurationError):
+            TrainingConfig(learning_rate=-1.0)
+        with pytest.raises(ConfigurationError):
+            TrainingConfig(hidden_sizes=())
+        with pytest.raises(ConfigurationError):
+            BNNTrainer(0)

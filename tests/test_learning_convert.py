@@ -1,0 +1,110 @@
+"""BNN -> SNN conversion: exact functional equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.learning.bnn import TrainedBNN, TrainingConfig
+from repro.learning.convert import bnn_to_snn
+
+
+def make_bnn(rng, sizes=(20, 12, 6), bias_scale=3.0) -> TrainedBNN:
+    weights = [
+        rng.choice([-1, 1], size=(a, b)).astype(np.int8)
+        for a, b in zip(sizes[:-1], sizes[1:])
+    ]
+    biases = [rng.normal(0, bias_scale, b) for b in sizes[1:]]
+    return TrainedBNN(
+        weights=weights, biases=biases, train_accuracy=0.0,
+        config=TrainingConfig(),
+    )
+
+
+class TestConversionFormat:
+    def test_weights_become_01(self, rng):
+        snn = bnn_to_snn(make_bnn(rng))
+        for w in snn.weights:
+            assert set(np.unique(w)).issubset({0, 1})
+
+    def test_mapping_is_w_plus_1_over_2(self, rng):
+        bnn = make_bnn(rng)
+        snn = bnn_to_snn(bnn)
+        for wb, w01 in zip(bnn.weights, snn.weights):
+            assert (w01 == (wb + 1) // 2).all()
+
+    def test_hidden_thresholds_are_ceil_minus_bias(self, rng):
+        bnn = make_bnn(rng)
+        snn = bnn_to_snn(bnn)
+        assert (snn.thresholds[0] == np.ceil(-bnn.biases[0])).all()
+
+    def test_output_bias_preserved(self, rng):
+        bnn = make_bnn(rng)
+        snn = bnn_to_snn(bnn)
+        assert np.allclose(snn.output_bias, bnn.biases[-1])
+
+    def test_output_layer_never_fires(self, rng):
+        snn = bnn_to_snn(make_bnn(rng))
+        assert (snn.thresholds[-1] == 511).all()
+
+    def test_layer_sizes(self, rng):
+        snn = bnn_to_snn(make_bnn(rng))
+        assert snn.layer_sizes == [20, 12, 6]
+
+
+class TestExactEquivalence:
+    """The converted SNN must classify exactly like the BNN."""
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_argmax_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        bnn = make_bnn(rng)
+        snn_model = bnn_to_snn(bnn).to_model()
+        x = (rng.random((16, 20)) < 0.4).astype(np.float64)
+        assert (bnn.classify(x) == snn_model.classify(x)).all()
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_hidden_firing_identical(self, seed):
+        """Fire iff BNN pre-activation >= 0, including the boundary."""
+        rng = np.random.default_rng(seed)
+        bnn = make_bnn(rng, bias_scale=1.0)
+        snn = bnn_to_snn(bnn)
+        x = (rng.random((8, 20)) < 0.5).astype(np.int64)
+        # BNN hidden layer
+        z = x @ bnn.weights[0] + bnn.biases[0]
+        bnn_fire = z >= 0.0
+        # SNN hidden layer
+        vmem = x @ (2 * snn.weights[0].astype(np.int64) - 1)
+        snn_fire = vmem >= snn.thresholds[0]
+        assert (bnn_fire == snn_fire).all()
+
+    def test_integer_bias_boundary(self):
+        """b exactly integer: Vmem >= -b must still match z >= 0."""
+        w = np.array([[1], [1]], dtype=np.int8)
+        bnn = TrainedBNN(
+            weights=[w, np.array([[1]], dtype=np.int8)],
+            biases=[np.array([-2.0]), np.array([0.0])],
+            train_accuracy=0.0, config=TrainingConfig(),
+        )
+        snn = bnn_to_snn(bnn)
+        # Vmem = 2 with both inputs: z = 2 - 2 = 0 -> fires.
+        assert snn.thresholds[0][0] == 2
+        vmem = np.array([2])
+        assert (vmem >= snn.thresholds[0]).all()
+
+
+class TestValidation:
+    def test_rejects_non_pm1_weights(self, rng):
+        bnn = make_bnn(rng)
+        bnn.weights[0] = np.zeros_like(bnn.weights[0])
+        with pytest.raises(ConfigurationError):
+            bnn_to_snn(bnn)
+
+    def test_rejects_huge_bias(self, rng):
+        bnn = make_bnn(rng)
+        bnn.biases[0] = np.full_like(bnn.biases[0], -1e6)
+        with pytest.raises(ConfigurationError):
+            bnn_to_snn(bnn)

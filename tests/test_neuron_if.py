@@ -1,0 +1,124 @@
+"""Bit-accurate IF neuron (paper Figure 5)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.neuron.if_neuron import IFNeuron, neuron_add_time_ns, neuron_timing
+
+
+class TestAccumulate:
+    def test_valid_bits_decode_plus_minus_one(self):
+        n = IFNeuron(threshold=0, ports=4)
+        delta = n.accumulate(
+            bits=np.array([1, 0, 1, 1]), valid=np.array([1, 1, 1, 1])
+        )
+        assert delta == 2  # +1 -1 +1 +1
+        assert n.vmem == 2
+
+    def test_invalid_ports_ignored(self):
+        """The validity flag prevents unused ports being read as '1'."""
+        n = IFNeuron(threshold=0, ports=4)
+        delta = n.accumulate(
+            bits=np.array([1, 1, 1, 1]), valid=np.array([1, 0, 0, 0])
+        )
+        assert delta == 1
+        assert n.vmem == 1
+
+    def test_all_invalid_is_noop(self):
+        n = IFNeuron(threshold=0, ports=2)
+        assert n.accumulate(np.array([1, 1]), np.array([0, 0])) == 0
+
+    def test_accumulates_over_cycles(self):
+        n = IFNeuron(threshold=10, ports=2)
+        for _ in range(3):
+            n.accumulate(np.array([1, 1]), np.array([1, 1]))
+        assert n.vmem == 6
+
+    def test_vmem_saturates(self):
+        n = IFNeuron(threshold=0, ports=4, vmem_bits=4)  # range [-8, 7]
+        for _ in range(10):
+            n.accumulate(np.array([1, 1, 1, 1]), np.array([1, 1, 1, 1]))
+        assert n.vmem == 7
+
+    def test_shape_checked(self):
+        n = IFNeuron(threshold=0, ports=4)
+        with pytest.raises(SimulationError):
+            n.accumulate(np.array([1, 0]), np.array([1, 0]))
+
+
+class TestFire:
+    def test_fires_at_threshold(self):
+        n = IFNeuron(threshold=2, ports=2)
+        n.accumulate(np.array([1, 1]), np.array([1, 1]))
+        assert n.fire_check()
+        assert n.spike_request
+        assert n.vmem == 0
+
+    def test_no_fire_below_threshold(self):
+        n = IFNeuron(threshold=5, ports=2)
+        n.accumulate(np.array([1, 1]), np.array([1, 1]))
+        assert not n.fire_check()
+        assert not n.spike_request
+
+    def test_vmem_resets_even_without_fire(self):
+        """Time-static task: the membrane clears every inference."""
+        n = IFNeuron(threshold=100, ports=2)
+        n.accumulate(np.array([1, 1]), np.array([1, 1]))
+        n.fire_check()
+        assert n.vmem == 0
+
+    def test_negative_threshold_fires_on_zero(self):
+        n = IFNeuron(threshold=-1, ports=2)
+        assert n.fire_check()
+
+    def test_grant_clears_request(self):
+        n = IFNeuron(threshold=0, ports=2)
+        n.fire_check()
+        n.grant()
+        assert not n.spike_request
+
+    def test_grant_without_request_is_error(self):
+        n = IFNeuron(threshold=5, ports=2)
+        with pytest.raises(SimulationError):
+            n.grant()
+
+    def test_reset(self):
+        n = IFNeuron(threshold=0, ports=2)
+        n.accumulate(np.array([1, 0]), np.array([1, 1]))
+        n.fire_check()
+        n.reset()
+        assert n.vmem == 0 and not n.spike_request
+
+
+class TestTiming:
+    def test_table2_neuron_components(self):
+        """Values backing the Table-2 SRAM+neuron stage decomposition."""
+        assert neuron_add_time_ns(1, multiport=False) == pytest.approx(0.20)
+        assert neuron_add_time_ns(1, multiport=True) == pytest.approx(0.30)
+        assert neuron_add_time_ns(2) == pytest.approx(0.35)
+        assert neuron_add_time_ns(3) == pytest.approx(0.35)
+        assert neuron_add_time_ns(4) == pytest.approx(0.40)
+
+    def test_add_time_monotonic(self):
+        times = [neuron_add_time_ns(p) for p in range(1, 9)]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_timing_datasheet(self):
+        t = neuron_timing(4)
+        assert t.ports == 4
+        assert t.accumulate_energy_fj > 0.0
+
+    def test_rejects_zero_ports(self):
+        with pytest.raises(ConfigurationError):
+            neuron_add_time_ns(0)
+
+
+class TestValidation:
+    def test_threshold_register_width(self):
+        with pytest.raises(ConfigurationError):
+            IFNeuron(threshold=600, vth_bits=10)
+
+    def test_rejects_zero_ports(self):
+        with pytest.raises(ConfigurationError):
+            IFNeuron(threshold=0, ports=0)

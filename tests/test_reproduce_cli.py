@@ -1,0 +1,28 @@
+"""One-shot reproduction driver."""
+
+import csv
+
+from repro.reproduce import reproduce_all
+
+
+class TestReproduceAll:
+    def test_writes_all_artifacts(self, tmp_path, fast_model):
+        # Use the fast-quality model and a tiny sample to keep this quick.
+        artifacts = reproduce_all(tmp_path, sample_images=3, quality="fast")
+        for name in ("figure6", "figure7", "table2", "figure8", "summary"):
+            assert name in artifacts
+            assert artifacts[name].exists(), name
+
+    def test_figure8_csv_has_five_cells(self, tmp_path, fast_model):
+        artifacts = reproduce_all(tmp_path, sample_images=3, quality="fast")
+        with artifacts["figure8"].open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert [r["cell"] for r in rows] == [
+            "1RW", "1RW+1R", "1RW+2R", "1RW+3R", "1RW+4R",
+        ]
+
+    def test_summary_contains_headline(self, tmp_path, fast_model):
+        artifacts = reproduce_all(tmp_path, sample_images=3, quality="fast")
+        text = artifacts["summary"].read_text()
+        assert "headline claims" in text
+        assert "Figure 8" in text

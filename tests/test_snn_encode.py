@@ -1,0 +1,75 @@
+"""Input encoding: corner crop (784 -> 768) and binarisation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.snn.encode import (
+    CORNER_MASK,
+    CROPPED_PIXELS,
+    binarize,
+    crop_corners,
+    encode_images,
+)
+
+
+class TestCornerMask:
+    def test_768_pixels_remain(self):
+        """784 - 4 corners x 2x2 px = 768 = 6 x 128 (section 4.4.2)."""
+        assert CROPPED_PIXELS == 768
+        assert int(CORNER_MASK.sum()) == 768
+
+    def test_corners_masked(self):
+        for r in (0, 1, 26, 27):
+            for c in (0, 1, 26, 27):
+                assert not CORNER_MASK[r, c]
+
+    def test_edges_kept(self):
+        assert CORNER_MASK[0, 14]
+        assert CORNER_MASK[14, 0]
+        assert CORNER_MASK[13, 13]
+
+
+class TestCropCorners:
+    def test_single_image(self, rng):
+        img = rng.random((28, 28))
+        flat = crop_corners(img)
+        assert flat.shape == (768,)
+        assert np.allclose(flat, img[CORNER_MASK])
+
+    def test_batch(self, rng):
+        imgs = rng.random((5, 28, 28))
+        flat = crop_corners(imgs)
+        assert flat.shape == (5, 768)
+
+    def test_corner_values_dropped(self):
+        img = np.zeros((28, 28))
+        img[0, 0] = 1.0  # corner pixel
+        assert crop_corners(img).sum() == 0.0
+
+    def test_shape_checked(self, rng):
+        with pytest.raises(ConfigurationError):
+            crop_corners(rng.random((27, 28)))
+
+
+class TestBinarize:
+    def test_threshold(self):
+        out = binarize(np.array([0.2, 0.5, 0.9]), threshold=0.5)
+        assert out.tolist() == [0, 1, 1]
+        assert out.dtype == np.uint8
+
+    def test_threshold_range_checked(self):
+        with pytest.raises(ConfigurationError):
+            binarize(np.zeros(3), threshold=1.5)
+
+
+class TestEncodeImages:
+    def test_end_to_end(self, rng):
+        imgs = rng.random((3, 28, 28))
+        spikes = encode_images(imgs, threshold=0.5)
+        assert spikes.shape == (3, 768)
+        assert set(np.unique(spikes)).issubset({0, 1})
+
+    def test_matches_manual_pipeline(self, rng):
+        imgs = rng.random((2, 28, 28))
+        assert (encode_images(imgs) == binarize(crop_corners(imgs))).all()

@@ -1,0 +1,142 @@
+"""Multi-timestep (rate-coded) SNN mode."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.snn.model import BinarySNN
+from repro.snn.temporal import (
+    TemporalBinarySNN,
+    rate_encode,
+    temporal_workload_cycles,
+)
+
+
+@pytest.fixture()
+def static_model(rng) -> BinarySNN:
+    w1 = rng.integers(0, 2, (32, 16)).astype(np.uint8)
+    w2 = rng.integers(0, 2, (16, 4)).astype(np.uint8)
+    return BinarySNN(
+        [w1, w2],
+        [rng.integers(0, 6, 16), rng.integers(2, 8, 4)],
+        output_bias=np.zeros(4),
+    )
+
+
+class TestRateEncode:
+    def test_shape_single(self, rng):
+        trains = rate_encode(np.full(10, 0.5), 8, rng)
+        assert trains.shape == (8, 10)
+
+    def test_shape_batch(self, rng):
+        trains = rate_encode(np.full((3, 10), 0.5), 8, rng)
+        assert trains.shape == (8, 3, 10)
+
+    def test_rate_statistics(self, rng):
+        trains = rate_encode(np.full(500, 0.3), 100, rng)
+        assert trains.mean() == pytest.approx(0.3, abs=0.02)
+
+    def test_extremes(self, rng):
+        trains = rate_encode(np.array([0.0, 1.0]), 50, rng)
+        assert trains[:, 0].sum() == 0
+        assert trains[:, 1].sum() == 50
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            rate_encode(np.array([0.5]), 0, rng)
+        with pytest.raises(ConfigurationError):
+            rate_encode(np.array([1.5]), 4, rng)
+        with pytest.raises(ConfigurationError):
+            rate_encode(np.array([0.5]), 4, rng, max_rate=0.0)
+
+
+class TestTemporalDynamics:
+    def test_single_timestep_vmem_matches_static(self, static_model, rng):
+        """With T=1 and thresholds the membrane never reaches, the
+        temporal model reduces to the static forward pass."""
+        never = BinarySNN(
+            static_model.weights,
+            [np.full(16, 500), np.full(4, 500)],
+        )
+        temporal = TemporalBinarySNN(never)
+        x = (rng.random(32) < 0.5).astype(np.uint8)
+        result = temporal.run(x[None, :])
+        static_vmem = never.membrane_potentials(x, 0)
+        # No hidden neuron fires, so layer-2 gets no input: check layer 1.
+        assert result.hidden_spike_totals[0] == 0
+        assert (result.spike_counts == 0).all()
+
+    def test_membrane_accumulates_across_timesteps(self):
+        """A sub-threshold input repeated eventually fires: classic IF."""
+        w = np.ones((4, 1), dtype=np.uint8)
+        model = BinarySNN([w], [np.array([5])])
+        temporal = TemporalBinarySNN(model)
+        # Two active inputs per step -> Vmem += 2; threshold 5 -> fires
+        # on step 3, 6, 9, ... (membrane resets on fire).
+        x = np.zeros(4, dtype=np.uint8)
+        x[:2] = 1
+        trains = np.tile(x, (9, 1))
+        result = temporal.run(trains)
+        assert result.spike_counts[0, 0] == 3
+
+    def test_leak_suppresses_weak_inputs(self):
+        w = np.ones((4, 1), dtype=np.uint8)
+        model = BinarySNN([w], [np.array([5])])
+        leaky = TemporalBinarySNN(model, leak=2)
+        x = np.zeros(4, dtype=np.uint8)
+        x[:2] = 1  # +2 per step, leak -2 -> never fires
+        result = leaky.run(np.tile(x, (20, 1)))
+        assert result.spike_counts[0, 0] == 0
+
+    def test_more_timesteps_more_output_spikes(self, static_model, rng):
+        temporal = TemporalBinarySNN(static_model)
+        values = rng.random(32)
+        enc_rng = np.random.default_rng(3)
+        short = temporal.run(rate_encode(values, 5, enc_rng))
+        enc_rng = np.random.default_rng(3)
+        long = temporal.run(rate_encode(values, 40, enc_rng))
+        assert long.spike_counts.sum() >= short.spike_counts.sum()
+
+    def test_classify_shape(self, static_model, rng):
+        temporal = TemporalBinarySNN(static_model)
+        trains = rate_encode(rng.random((6, 32)), 10, rng)
+        assert temporal.classify(trains).shape == (6,)
+
+    def test_validation(self, static_model, rng):
+        temporal = TemporalBinarySNN(static_model)
+        with pytest.raises(ConfigurationError):
+            temporal.run(np.zeros((2, 3, 4, 5)))
+        with pytest.raises(ConfigurationError):
+            temporal.run(np.zeros((2, 16)))  # wrong input width
+        with pytest.raises(ConfigurationError):
+            TemporalBinarySNN(static_model, leak=-1)
+
+
+class TestRateCodedClassification:
+    def test_rate_coding_recovers_static_decisions(self, fast_model, rng):
+        """Rate coding over enough timesteps should agree with the
+        binarised static decision on most easy inputs."""
+        from repro.snn.encode import crop_corners
+
+        model = fast_model.snn.to_model()
+        temporal = TemporalBinarySNN(model)
+        images = fast_model.dataset.test_images[:20]
+        labels = fast_model.dataset.test_labels[:20]
+        values = crop_corners(images)
+        trains = rate_encode(values, 24, np.random.default_rng(9),
+                             max_rate=0.9)
+        predictions = temporal.classify(trains)
+        accuracy = float((predictions == labels).mean())
+        assert accuracy > 0.7
+
+
+class TestWorkloadCycles:
+    def test_cycle_arithmetic(self):
+        cycles = temporal_workload_cycles(np.array([16, 8]), ports=4,
+                                          arbiters=2)
+        # t0: ceil(8/4)=2 (+1 fire), t1: ceil(4/4)=1 (+1) -> 5.
+        assert cycles == 5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            temporal_workload_cycles(np.array([4]), ports=0, arbiters=1)

@@ -1,0 +1,109 @@
+"""Bitcell topology and area model (paper section 4.2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sram.bitcell import (
+    ALL_CELLS,
+    AREA_RATIO,
+    FIFTH_PORT_AREA_INCREMENT,
+    CellType,
+    bitcell_spec,
+    hypothetical_cell_area_ratio,
+    transistor_count,
+)
+from repro.tech.constants import IMEC_3NM
+
+
+class TestCellType:
+    def test_extra_read_ports(self):
+        assert CellType.C6T.extra_read_ports == 0
+        assert CellType.C1RW4R.extra_read_ports == 4
+
+    def test_inference_ports_6t_uses_rw_port(self):
+        assert CellType.C6T.inference_ports == 1
+        assert CellType.C1RW1R.inference_ports == 1
+        assert CellType.C1RW4R.inference_ports == 4
+
+    def test_only_multiport_transposable(self):
+        assert not CellType.C6T.is_transposable
+        for cell in ALL_CELLS[1:]:
+            assert cell.is_transposable
+
+    def test_from_ports_roundtrip(self):
+        for cell in ALL_CELLS:
+            assert CellType.from_ports(cell.extra_read_ports) is cell
+
+    def test_from_ports_rejects_5(self):
+        with pytest.raises(ConfigurationError):
+            CellType.from_ports(5)
+
+    def test_labels_match_paper(self):
+        assert [c.value for c in ALL_CELLS] == [
+            "1RW", "1RW+1R", "1RW+2R", "1RW+3R", "1RW+4R",
+        ]
+
+
+class TestTransistorCount:
+    def test_6t(self):
+        assert transistor_count(CellType.C6T) == 6
+
+    def test_multiport_adds_shared_buffer_plus_one_per_port(self):
+        # 6T core + M7 + M8..M11 (Figure 3a).
+        assert transistor_count(CellType.C1RW1R) == 8
+        assert transistor_count(CellType.C1RW4R) == 11
+
+
+class TestAreas:
+    def test_6t_area_matches_paper(self):
+        spec = bitcell_spec(CellType.C6T)
+        assert spec.area_um2 == pytest.approx(0.01512)
+
+    def test_paper_area_ratios(self):
+        """Paper: 1.5x, 1.875x, 2.25x and 2.625x larger respectively."""
+        assert AREA_RATIO[CellType.C1RW1R] == 1.5
+        assert AREA_RATIO[CellType.C1RW2R] == 1.875
+        assert AREA_RATIO[CellType.C1RW3R] == 2.25
+        assert AREA_RATIO[CellType.C1RW4R] == 2.625
+
+    def test_spec_area_follows_ratio(self):
+        for cell in ALL_CELLS:
+            spec = bitcell_spec(cell)
+            assert spec.area_um2 == pytest.approx(0.01512 * AREA_RATIO[cell])
+
+    def test_height_constant_width_grows(self):
+        """Ports widen the cell; the fin grid pins the height."""
+        heights = {bitcell_spec(c).height_um for c in ALL_CELLS}
+        assert len(heights) == 1
+        widths = [bitcell_spec(c).width_um for c in ALL_CELLS]
+        assert widths == sorted(widths)
+
+    def test_fifth_port_costs_87_5_percent(self):
+        """Paper: a 5th port would add 87.5 % of the 6T area."""
+        assert FIFTH_PORT_AREA_INCREMENT == pytest.approx(0.875)
+        assert hypothetical_cell_area_ratio(5) == pytest.approx(2.625 + 0.875)
+
+    def test_hypothetical_matches_real_cells(self):
+        for cell in ALL_CELLS:
+            assert hypothetical_cell_area_ratio(cell.extra_read_ports) == (
+                pytest.approx(AREA_RATIO[cell])
+            )
+
+    def test_hypothetical_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            hypothetical_cell_area_ratio(-1)
+
+
+class TestSpec:
+    def test_wl_narrowed_only_on_multiport(self):
+        assert bitcell_spec(CellType.C6T).wl_width_factor == 1.0
+        for cell in ALL_CELLS[1:]:
+            assert bitcell_spec(cell).wl_width_factor < 1.0
+
+    def test_leakage_ratio_tracks_transistors(self):
+        assert bitcell_spec(CellType.C1RW4R).leakage_transistor_ratio == (
+            pytest.approx(11.0 / 6.0)
+        )
+
+    def test_node_attached(self):
+        assert bitcell_spec(CellType.C6T).node is IMEC_3NM

@@ -1,0 +1,121 @@
+"""Weight-memory fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.snn.encode import encode_images
+from repro.sram.bitcell import CellType
+from repro.sram.faults import FaultInjector, flip_bits
+from repro.tile.network import EsamNetwork
+
+
+class TestFlipBits:
+    def test_zero_rate_is_identity(self, rng):
+        w = rng.integers(0, 2, (32, 32))
+        faulty, flips = flip_bits(w, 0.0, rng)
+        assert flips == 0
+        assert (faulty == w).all()
+
+    def test_full_rate_inverts(self, rng):
+        w = rng.integers(0, 2, (16, 16))
+        faulty, flips = flip_bits(w, 1.0, rng)
+        assert flips == 256
+        assert (faulty == 1 - w).all()
+
+    def test_rate_statistics(self, rng):
+        w = np.zeros((200, 200), dtype=np.uint8)
+        _, flips = flip_bits(w, 0.1, rng)
+        assert flips == pytest.approx(4000, rel=0.15)
+
+    def test_result_binary(self, rng):
+        w = rng.integers(0, 2, (16, 16))
+        faulty, _ = flip_bits(w, 0.5, rng)
+        assert set(np.unique(faulty)).issubset({0, 1})
+
+    def test_input_not_mutated(self, rng):
+        w = np.zeros((8, 8), dtype=np.uint8)
+        flip_bits(w, 1.0, rng)
+        assert (w == 0).all()
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            flip_bits(np.zeros((4, 4)), 1.5, rng)
+        with pytest.raises(ConfigurationError):
+            flip_bits(np.full((4, 4), 2), 0.1, rng)
+
+
+class TestFaultSweep:
+    def test_accuracy_degrades_monotonically_on_average(self, fast_model):
+        injector = FaultInjector(
+            fast_model.snn.weights,
+            fast_model.snn.thresholds,
+            fast_model.snn.output_bias,
+        )
+        spikes = encode_images(fast_model.dataset.test_images[:300])
+        labels = fast_model.dataset.test_labels[:300]
+        points = injector.sweep(
+            spikes, labels, rates=(0.0, 1e-3, 5e-2, 0.3), trials=2
+        )
+        accuracies = [p.accuracy for p in points]
+        # Clean accuracy first; heavy corruption approaches chance.
+        assert accuracies[0] > 0.9
+        assert accuracies[0] >= accuracies[1] - 0.02
+        assert accuracies[-1] < 0.6
+
+    def test_small_ber_is_tolerated(self, fast_model):
+        """The BNN's redundancy absorbs isolated flips — a practical
+        robustness property for always-on edge SRAM."""
+        injector = FaultInjector(
+            fast_model.snn.weights,
+            fast_model.snn.thresholds,
+            fast_model.snn.output_bias,
+        )
+        spikes = encode_images(fast_model.dataset.test_images[:300])
+        labels = fast_model.dataset.test_labels[:300]
+        points = injector.sweep(spikes, labels, rates=(0.0, 1e-3), trials=3)
+        assert points[1].accuracy > points[0].accuracy - 0.03
+
+    def test_zero_rate_reports_zero_flips(self, fast_model):
+        injector = FaultInjector(
+            fast_model.snn.weights, fast_model.snn.thresholds,
+        )
+        spikes = encode_images(fast_model.dataset.test_images[:20])
+        points = injector.sweep(
+            spikes, fast_model.dataset.test_labels[:20], rates=(0.0,)
+        )
+        assert points[0].flipped_bits == 0
+
+
+class TestNetworkInjection:
+    def test_inject_network_changes_weights(self, rng):
+        weights = [rng.integers(0, 2, (128, 16)).astype(np.uint8)]
+        net = EsamNetwork(weights, [np.full(16, 511)],
+                          cell_type=CellType.C1RW2R)
+        injector = FaultInjector(weights, [np.full(16, 511)])
+        flips = injector.inject_network(net, 0.05)
+        assert flips > 0
+        # The network's stored bits now differ from the originals.
+        stored = net.tiles[0].weight_matrix()
+        assert (stored != weights[0]).sum() > 0
+
+    def test_hardware_matches_faulty_functional_model(self, rng):
+        """Faults injected into the macros behave exactly like faults in
+        the functional model (same math, same storage)."""
+        weights = [rng.integers(0, 2, (64, 12)).astype(np.uint8)]
+        thresholds = [np.full(12, 511)]
+        net = EsamNetwork(weights, thresholds, cell_type=CellType.C1RW4R)
+        injector = FaultInjector(weights, thresholds, seed=3)
+        injector.inject_network(net, 0.1)
+        faulty_bits = net.tiles[0].weight_matrix()
+        from repro.snn.model import BinarySNN
+
+        reference = BinarySNN([faulty_bits], thresholds)
+        spikes = rng.random(64) < 0.4
+        assert np.allclose(
+            net.infer(spikes), reference.forward(spikes)[0]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjector([], [])

@@ -1,0 +1,93 @@
+"""Array floorplan: wire lengths, pitch rules, periphery."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DesignRuleError
+from repro.sram.bitcell import ALL_CELLS, CellType, bitcell_spec
+from repro.sram.layout import (
+    TRANSPOSED_MUX_FACTOR,
+    ArrayFloorplan,
+    CellLayout,
+    floorplan,
+)
+
+
+class TestCellLayout:
+    def test_pitch_ok_up_to_four_ports(self):
+        for cell in ALL_CELLS:
+            CellLayout(bitcell_spec(cell)).check_pitch()
+
+    def test_rbl_tracks(self):
+        assert CellLayout(bitcell_spec(CellType.C1RW4R)).rbl_tracks_available() == 4
+        assert CellLayout(bitcell_spec(CellType.C6T)).rbl_tracks_available() == 0
+
+
+class TestDimensions:
+    def test_core_area(self):
+        plan = floorplan(CellType.C6T, 128, 128)
+        assert plan.core_area_um2 == pytest.approx(128 * 128 * 0.01512)
+
+    def test_width_scales_with_cell(self):
+        w6 = floorplan(CellType.C6T).core_width_um
+        w4 = floorplan(CellType.C1RW4R).core_width_um
+        assert w4 == pytest.approx(2.625 * w6)
+
+    def test_height_independent_of_cell(self):
+        h6 = floorplan(CellType.C6T).core_height_um
+        h4 = floorplan(CellType.C1RW4R).core_height_um
+        assert h4 == pytest.approx(h6)
+
+
+class TestWires:
+    def test_inference_wordline_spans_columns(self):
+        plan = floorplan(CellType.C1RW2R, 128, 64)
+        assert plan.inference_wordline().length_um == pytest.approx(
+            64 * plan.cell.width_um
+        )
+
+    def test_inference_bitline_spans_rows(self):
+        plan = floorplan(CellType.C1RW2R, 96, 128)
+        assert plan.inference_bitline().length_um == pytest.approx(
+            96 * plan.cell.height_um
+        )
+
+    def test_transposed_wordline_narrowed_on_multiport(self):
+        plan = floorplan(CellType.C1RW1R)
+        assert plan.transposed_wordline().width_factor < 1.0
+        plan6 = floorplan(CellType.C6T)
+        assert plan6.transposed_wordline().width_factor == 1.0
+
+
+class TestPeriphery:
+    def test_mux_factor_is_four(self):
+        """Section 3.2: row-muxing by a factor of four."""
+        assert TRANSPOSED_MUX_FACTOR == 4
+
+    def test_column_access_count(self):
+        """Transposable: 4 accesses per column; 6T: one per row."""
+        assert floorplan(CellType.C1RW4R).column_access_count() == 4
+        assert floorplan(CellType.C6T, rows=128).column_access_count() == 128
+
+    def test_inference_sa_per_column_per_port(self):
+        plan = floorplan(CellType.C1RW3R, 128, 128)
+        assert plan.inference_sense_amp_count == 128 * 3
+
+    def test_transposed_sa_muxed(self):
+        plan = floorplan(CellType.C1RW4R, 128, 128)
+        assert plan.transposed_sense_amp_count == 32
+
+    def test_macro_area_exceeds_core(self):
+        for cell in ALL_CELLS:
+            plan = floorplan(cell)
+            assert plan.macro_area_um2() > plan.core_area_um2
+
+    def test_periphery_grows_with_ports(self):
+        p1 = floorplan(CellType.C1RW1R).periphery_area_um2()
+        p4 = floorplan(CellType.C1RW4R).periphery_area_um2()
+        assert p4 > p1
+
+
+class TestValidation:
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ConfigurationError):
+            ArrayFloorplan(cell=bitcell_spec(CellType.C6T), rows=0, cols=128)

@@ -1,0 +1,69 @@
+"""Sense-amplifier models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sram.sense_amp import DifferentialSenseAmp, InverterCascadeSenseAmp
+
+
+class TestDifferentialSA:
+    def test_sense_delay_includes_development(self):
+        sa = DifferentialSenseAmp()
+        slow = sa.sense_delay_ns(bitline_slew_ns_per_v=2.0)
+        fast = sa.sense_delay_ns(bitline_slew_ns_per_v=0.5)
+        assert slow > fast > sa.resolve_delay_ns
+
+    def test_rejects_bad_swing(self):
+        with pytest.raises(ConfigurationError):
+            DifferentialSenseAmp(required_swing_v=0.0)
+
+    def test_rejects_bad_mux(self):
+        with pytest.raises(ConfigurationError):
+            DifferentialSenseAmp(mux_factor=0)
+
+
+class TestInverterCascadeSA:
+    def test_slower_than_differential(self):
+        """Paper: cascaded inverter SAs deliver a slightly slower readout."""
+        inv = InverterCascadeSenseAmp()
+        diff = DifferentialSenseAmp()
+        assert inv.resolve_delay_ns > diff.resolve_delay_ns
+
+    def test_resolve_delay_scales_with_stages(self):
+        assert InverterCascadeSenseAmp(stages=4).resolve_delay_ns == pytest.approx(
+            4.0 / 3.0 * InverterCascadeSenseAmp(stages=3).resolve_delay_ns
+        )
+
+    def test_energy_floors_below_design_point(self):
+        """SA is (re)designed for its precharge level; below the design
+        point the full-VDD internal stages dominate."""
+        sa = InverterCascadeSenseAmp(design_vprech=0.5)
+        assert sa.energy_fj(0.4) == pytest.approx(sa.energy_fj(0.5))
+
+    def test_energy_grows_above_design_point(self):
+        sa = InverterCascadeSenseAmp()
+        assert sa.energy_fj(0.7) > 1.5 * sa.energy_fj(0.5)
+
+    def test_energy_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            InverterCascadeSenseAmp().energy_fj(0.0)
+
+    def test_dc_current_peaks_at_midrail(self):
+        sa = InverterCascadeSenseAmp()
+        mid = sa.dc_current_ua(0.35, vdd=0.7)
+        rail = sa.dc_current_ua(0.05, vdd=0.7)
+        assert mid > 10.0 * rail
+
+    def test_dc_current_symmetric(self):
+        sa = InverterCascadeSenseAmp()
+        assert sa.dc_current_ua(0.30, 0.7) == pytest.approx(
+            sa.dc_current_ua(0.40, 0.7)
+        )
+
+    def test_rejects_bad_trip_margin(self):
+        with pytest.raises(ConfigurationError):
+            InverterCascadeSenseAmp(trip_margin_v=0.6, design_vprech=0.5)
+
+    def test_rejects_bad_stage_count(self):
+        with pytest.raises(ConfigurationError):
+            InverterCascadeSenseAmp(stages=0)

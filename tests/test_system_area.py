@@ -1,0 +1,36 @@
+"""Area accounting for neurons and full systems."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.system.area import neuron_area_ge, neuron_array_area_um2
+
+
+class TestNeuronArea:
+    def test_positive(self):
+        assert neuron_area_ge(4) > 0.0
+
+    def test_grows_with_ports(self):
+        areas = [neuron_area_ge(p) for p in (1, 2, 4, 8)]
+        assert all(b > a for a, b in zip(areas, areas[1:]))
+
+    def test_register_dominated(self):
+        """An IF neuron is mostly its Vmem/Vth registers, so doubling
+        the ports must far less than double the area."""
+        assert neuron_area_ge(8) < 1.7 * neuron_area_ge(4)
+
+    def test_array_scales_linearly(self):
+        assert neuron_array_area_um2(200, 4) == pytest.approx(
+            2.0 * neuron_array_area_um2(100, 4)
+        )
+
+    def test_reasonable_magnitude(self):
+        """A 3nm IF neuron with registers: a few um^2 at most."""
+        area = neuron_array_area_um2(1, 4)
+        assert 0.5 < area < 10.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            neuron_area_ge(0)
+        with pytest.raises(ConfigurationError):
+            neuron_array_area_um2(0, 4)

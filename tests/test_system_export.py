@@ -1,0 +1,49 @@
+"""CSV export of the reproduced figure data."""
+
+import csv
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sram.electrical import TransposedPortModel
+from repro.sram.readport import ReadPortModel
+from repro.system.export import (
+    export_figure6,
+    export_figure7,
+    export_table2,
+)
+from repro.tile.pipeline import PipelineModel
+
+
+class TestExports:
+    def test_figure6_roundtrip(self, tmp_path, transposed_model):
+        path = export_figure6(transposed_model.figure6(), tmp_path / "f6.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 5
+        assert rows[0]["cell"] == "1RW"
+        assert float(rows[4]["read_time_ns"]) == pytest.approx(2.475, rel=1e-3)
+
+    def test_figure7_roundtrip(self, tmp_path, read_port_model):
+        path = export_figure7(read_port_model.figure7(), tmp_path / "f7.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 16
+        extended = [r for r in rows if r["extended_precharge"] == "1"]
+        assert len(extended) == 2  # 400 mV with 3 and 4 ports
+
+    def test_table2_roundtrip(self, tmp_path):
+        path = export_table2(PipelineModel().table2(), tmp_path / "t2.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 5
+        clock = [float(r["clock_period_ns"]) for r in rows]
+        assert clock[-1] == pytest.approx(1.2346, rel=1e-3)
+
+    def test_creates_parent_dirs(self, tmp_path, transposed_model):
+        nested = tmp_path / "a" / "b" / "f6.csv"
+        assert export_figure6(transposed_model.figure6(), nested).exists()
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            export_figure6([], tmp_path / "x.csv")

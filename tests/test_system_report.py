@@ -1,0 +1,52 @@
+"""Plain-text report rendering."""
+
+from repro.sram.electrical import TransposedPortModel
+from repro.sram.readport import ReadPortModel
+from repro.system.comparison import TABLE3_LITERATURE, TABLE3_PAPER_THIS_WORK, table3
+from repro.system.report import (
+    render_figure6,
+    render_figure7,
+    render_table,
+    render_table2,
+    render_table3,
+)
+from repro.tile.pipeline import PipelineModel
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_title(self):
+        out = render_table(["x"], [["1"]], title="T")
+        assert out.splitlines()[0] == "T"
+
+
+class TestRenderers:
+    def test_figure6(self, transposed_model):
+        out = render_figure6(transposed_model.figure6())
+        assert "1RW+4R" in out
+        assert "V_WD" in out
+        assert len(out.splitlines()) == 8  # title + header + sep + 5 cells
+
+    def test_figure7(self, read_port_model):
+        out = render_figure7(read_port_model.figure7())
+        assert "500 mV" in out
+        assert out.count("\n") >= 17
+
+    def test_table2(self):
+        out = render_table2(PipelineModel().table2())
+        assert "Arbiter" in out
+        assert "1.01ns" in out
+        assert "0.69ns" in out
+        assert "1.23ns" in out
+
+    def test_table3(self):
+        out = render_table3(table3(TABLE3_PAPER_THIS_WORK))
+        assert "ESAM" in out
+        assert "44 MInf/s" in out
+        for row in TABLE3_LITERATURE:
+            assert row.label in out

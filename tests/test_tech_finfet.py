@@ -1,0 +1,120 @@
+"""FinFET device model."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tech.finfet import (
+    DeviceType,
+    FinFetDevice,
+    VtFlavor,
+    discharge_time_ns,
+)
+
+
+class TestDriveCurrent:
+    def test_nominal_drive_per_fin(self):
+        dev = FinFetDevice(fins=1, flavor=VtFlavor.SVT)
+        assert dev.drive_current_ua(0.700) == pytest.approx(45.0)
+
+    def test_scales_with_fins(self):
+        one = FinFetDevice(fins=1)
+        three = FinFetDevice(fins=3)
+        assert three.drive_current_ua(0.7) == pytest.approx(
+            3.0 * one.drive_current_ua(0.7)
+        )
+
+    def test_zero_below_threshold(self):
+        dev = FinFetDevice()
+        assert dev.drive_current_ua(0.2) == 0.0
+
+    def test_collapses_near_threshold(self):
+        """Overdrive collapse is what slows 400 mV precharge (Fig. 7)."""
+        dev = FinFetDevice()
+        ratio = dev.drive_current_ua(0.40) / dev.drive_current_ua(0.50)
+        assert ratio < 0.55
+
+    def test_pmos_weaker_than_nmos(self):
+        n = FinFetDevice(device_type=DeviceType.NMOS)
+        p = FinFetDevice(device_type=DeviceType.PMOS)
+        assert p.drive_current_ua(0.7) < n.drive_current_ua(0.7)
+
+    def test_vt_shift_weakens(self):
+        dev = FinFetDevice()
+        assert dev.drive_current_ua(0.7, vt_shift=0.05) < dev.drive_current_ua(0.7)
+
+    def test_hvt_slower_than_lvt(self):
+        hvt = FinFetDevice(flavor=VtFlavor.HVT)
+        lvt = FinFetDevice(flavor=VtFlavor.LVT)
+        assert hvt.drive_current_ua(0.7) < lvt.drive_current_ua(0.7)
+
+
+class TestLeakage:
+    def test_hvt_leaks_much_less_than_lvt(self):
+        hvt = FinFetDevice(flavor=VtFlavor.HVT)
+        lvt = FinFetDevice(flavor=VtFlavor.LVT)
+        assert lvt.leakage_current_ua(0.7) > 10.0 * hvt.leakage_current_ua(0.7)
+
+    def test_zero_at_zero_vds(self):
+        assert FinFetDevice().leakage_current_ua(0.0) == 0.0
+
+    def test_saturates_in_vds(self):
+        dev = FinFetDevice()
+        low = dev.leakage_current_ua(0.1)
+        high = dev.leakage_current_ua(0.7)
+        assert high < 1.2 * dev.leakage_current_ua(0.35)
+        assert high > low
+
+    def test_vt_shift_exponential(self):
+        dev = FinFetDevice()
+        base = dev.leakage_current_ua(0.7)
+        shifted = dev.leakage_current_ua(0.7, vt_shift=0.075)
+        assert shifted == pytest.approx(base / 10.0, rel=1e-6)
+
+    def test_leakage_power(self):
+        dev = FinFetDevice()
+        p = dev.leakage_power_mw(0.7)
+        assert p == pytest.approx(dev.leakage_current_ua(0.7) * 0.7 * 1e-3)
+
+
+class TestEffectiveResistance:
+    def test_finite_above_threshold(self):
+        dev = FinFetDevice()
+        assert 0.0 < dev.effective_resistance_kohm(0.7) < 100.0
+
+    def test_infinite_below_threshold(self):
+        dev = FinFetDevice()
+        assert math.isinf(dev.effective_resistance_kohm(0.1))
+
+
+class TestCapacitance:
+    def test_gate_cap_scales_with_fins(self):
+        assert FinFetDevice(fins=4).gate_capacitance_ff == pytest.approx(
+            4.0 * FinFetDevice(fins=1).gate_capacitance_ff
+        )
+
+    def test_junction_cap_positive(self):
+        assert FinFetDevice().junction_capacitance_ff > 0.0
+
+
+class TestDischargeTime:
+    def test_basic_scaling(self):
+        dev = FinFetDevice()
+        t1 = discharge_time_ns(5.0, 0.2, dev, 0.7)
+        t2 = discharge_time_ns(10.0, 0.2, dev, 0.7)
+        assert t2 == pytest.approx(2.0 * t1)
+
+    def test_infinite_without_drive(self):
+        dev = FinFetDevice()
+        assert math.isinf(discharge_time_ns(5.0, 0.2, dev, 0.1))
+
+
+class TestValidation:
+    def test_rejects_zero_fins(self):
+        with pytest.raises(ConfigurationError):
+            FinFetDevice(fins=0)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ConfigurationError):
+            FinFetDevice(alpha=2.5)

@@ -1,0 +1,74 @@
+"""Wire RC models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tech.wire import M0, M1, M3, STACK, MetalLayer, Wire, elmore_delay_ns
+
+
+class TestMetalLayers:
+    def test_local_layers_more_resistive(self):
+        """3nm local interconnect dominates: M0 >> M3 resistance."""
+        assert M0.r_kohm_per_um > 5.0 * M3.r_kohm_per_um
+
+    def test_stack_ordered_by_resistance(self):
+        resistances = [layer.r_kohm_per_um for layer in STACK]
+        assert resistances == sorted(resistances, reverse=True)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            MetalLayer("bad", r_kohm_per_um=0.0, c_ff_per_um=0.2)
+
+
+class TestWire:
+    def test_resistance_scales_with_length(self):
+        assert Wire(M0, 20.0).resistance_kohm == pytest.approx(
+            2.0 * Wire(M0, 10.0).resistance_kohm
+        )
+
+    def test_narrow_wire_more_resistive(self):
+        """The narrowed multiport WL (section 4.2) has higher R."""
+        normal = Wire(M0, 14.0, width_factor=1.0)
+        narrow = Wire(M0, 14.0, width_factor=0.55)
+        assert narrow.resistance_kohm > 1.7 * normal.resistance_kohm
+
+    def test_coupling_increases_capacitance(self):
+        wire = Wire(M0, 14.0)
+        assert wire.capacitance_ff(coupling_factor=1.2) > wire.capacitance_ff()
+
+    def test_zero_length_wire(self):
+        wire = Wire(M0, 0.0)
+        assert wire.resistance_kohm == 0.0
+        assert wire.capacitance_ff() == 0.0
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ConfigurationError):
+            Wire(M0, -1.0)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ConfigurationError):
+            Wire(M0, 1.0, width_factor=0.0)
+
+
+class TestElmore:
+    def test_monotonic_in_driver_resistance(self):
+        wire = Wire(M1, 10.0)
+        assert elmore_delay_ns(1.0, wire, 5.0) > elmore_delay_ns(0.5, wire, 5.0)
+
+    def test_monotonic_in_load(self):
+        wire = Wire(M1, 10.0)
+        assert elmore_delay_ns(0.5, wire, 10.0) > elmore_delay_ns(0.5, wire, 1.0)
+
+    def test_lumped_limit(self):
+        """Zero-length wire reduces to R_drv * C_load."""
+        wire = Wire(M1, 0.0)
+        assert elmore_delay_ns(2.0, wire, 100.0) == pytest.approx(0.2)
+
+    def test_distributed_term(self):
+        """Wire resistance sees half its own cap plus the full load."""
+        wire = Wire(M1, 10.0)
+        expected = (
+            0.0 * (wire.capacitance_ff() + 3.0)
+            + wire.resistance_kohm * (0.5 * wire.capacitance_ff() + 3.0)
+        ) * 1e-3
+        assert elmore_delay_ns(0.0, wire, 3.0) == pytest.approx(expected)

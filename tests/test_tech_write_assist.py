@@ -1,0 +1,95 @@
+"""NBL write-assist model and the 128x128 array-size design rule."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DesignRuleError
+from repro.sram.bitcell import ALL_CELLS
+from repro.tech.write_assist import VWD_LIMIT_V, NegativeBitlineAssist
+
+
+@pytest.fixture()
+def assist() -> NegativeBitlineAssist:
+    return NegativeBitlineAssist(vdd=0.700)
+
+
+class TestRequiredVwd:
+    def test_always_negative(self, assist):
+        assert assist.required_vwd_v(128, 128, 0) < 0.0
+
+    def test_grows_with_ports(self, assist):
+        """More read ports -> more parasitics -> deeper undershoot."""
+        values = [assist.required_vwd_v(128, 128, p) for p in range(5)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_grows_with_columns(self, assist):
+        assert assist.required_vwd_v(128, 256, 0) < assist.required_vwd_v(128, 128, 0)
+
+    def test_grows_with_rows(self, assist):
+        assert assist.required_vwd_v(256, 128, 0) < assist.required_vwd_v(128, 128, 0)
+
+    def test_6t_128_comfortable(self, assist):
+        """6T at 128x128 sits well inside the yield limit."""
+        vwd = assist.required_vwd_v(128, 128, 0)
+        assert -0.25 < vwd < -0.10
+
+    def test_4r_128_near_limit_but_valid(self, assist):
+        """The 4-port cell at 128x128 is the paper's corner case."""
+        vwd = assist.required_vwd_v(128, 128, 4)
+        assert VWD_LIMIT_V < vwd < -0.35
+
+
+class TestDesignRule:
+    def test_all_cells_valid_at_128(self, assist):
+        for cell in ALL_CELLS:
+            result = assist.analyze(128, 128, cell.extra_read_ports)
+            assert result.valid, cell
+
+    def test_no_cell_valid_at_256(self, assist):
+        """Paper: the restriction limits arrays to <=128 for ALL designs."""
+        for cell in ALL_CELLS:
+            result = assist.analyze(256, 256, cell.extra_read_ports)
+            assert not result.valid, cell
+
+    def test_max_square_array_is_128_for_all_cells(self, assist):
+        for cell in ALL_CELLS:
+            assert assist.max_square_array(cell.extra_read_ports) == 128
+
+    def test_check_raises_on_invalid(self, assist):
+        with pytest.raises(DesignRuleError):
+            assist.check(256, 256, 4)
+
+    def test_check_returns_result_on_valid(self, assist):
+        result = assist.check(128, 128, 2)
+        assert result.valid
+
+    def test_boost_swing(self, assist):
+        result = assist.analyze(128, 128, 4)
+        assert result.boost_swing_v == pytest.approx(
+            0.700 + abs(result.vwd_required_v)
+        )
+
+    def test_boost_swing_grows_with_ports(self, assist):
+        """This is why write energy scales faster than read (Fig. 6)."""
+        swings = [
+            assist.analyze(128, 128, p).boost_swing_v for p in range(5)
+        ]
+        assert all(b > a for a, b in zip(swings, swings[1:]))
+
+
+class TestValidation:
+    def test_rejects_bad_dimensions(self, assist):
+        with pytest.raises(ConfigurationError):
+            assist.required_vwd_v(0, 128, 0)
+        with pytest.raises(ConfigurationError):
+            assist.required_vwd_v(128, 128, -1)
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ConfigurationError):
+            NegativeBitlineAssist(vdd=-0.7)
+        with pytest.raises(ConfigurationError):
+            NegativeBitlineAssist(vwd_limit_v=0.4)
+
+    def test_no_valid_size_raises(self):
+        tight = NegativeBitlineAssist(vdd=0.7, vwd_limit_v=-0.01)
+        with pytest.raises(DesignRuleError):
+            tight.max_square_array(0, candidates=(128, 256))

@@ -1,0 +1,85 @@
+"""Layer-to-array blocking."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tile.mapping import LayerMapping
+
+
+class TestBlockCounts:
+    def test_paper_first_layer(self):
+        """768 inputs = exactly 6 x 128 rows (section 4.4.2)."""
+        m = LayerMapping(768, 256)
+        assert m.row_blocks == 6
+        assert m.col_blocks == 2
+        assert m.array_count == 12
+        assert m.arbiter_count == 6
+
+    def test_hidden_layer(self):
+        m = LayerMapping(256, 256)
+        assert m.row_blocks == 2 and m.col_blocks == 2
+
+    def test_output_layer_partial_block(self):
+        m = LayerMapping(256, 10)
+        assert m.col_blocks == 1
+        assert m.cols_in_block(0) == 10
+
+    def test_non_multiple_rounds_up(self):
+        m = LayerMapping(130, 130)
+        assert m.row_blocks == 2
+        assert m.rows_in_block(0) == 128
+        assert m.rows_in_block(1) == 2
+
+
+class TestSlices:
+    def test_row_slice_bounds(self):
+        m = LayerMapping(300, 50)
+        assert m.row_slice(0) == slice(0, 128)
+        assert m.row_slice(2) == slice(256, 300)
+
+    def test_out_of_range_checked(self):
+        m = LayerMapping(128, 128)
+        with pytest.raises(ConfigurationError):
+            m.row_slice(1)
+        with pytest.raises(ConfigurationError):
+            m.col_slice(-1)
+
+
+class TestBlockWeights:
+    def test_exact_block(self, rng):
+        w = rng.integers(0, 2, (256, 256))
+        m = LayerMapping(256, 256)
+        tile = m.block_weights(w, 1, 0)
+        assert tile.shape == (128, 128)
+        assert (tile == w[128:256, 0:128]).all()
+
+    def test_partial_block_zero_padded(self, rng):
+        w = rng.integers(0, 2, (256, 10))
+        m = LayerMapping(256, 10)
+        tile = m.block_weights(w, 0, 0)
+        assert (tile[:, :10] == w[:128]).all()
+        assert (tile[:, 10:] == 0).all()
+
+    def test_blocks_tile_the_matrix(self, rng):
+        """Reassembling every block recovers the original weights."""
+        w = rng.integers(0, 2, (300, 140))
+        m = LayerMapping(300, 140)
+        recovered = np.zeros_like(w)
+        for rb in range(m.row_blocks):
+            for cb in range(m.col_blocks):
+                tile = m.block_weights(w, rb, cb)
+                rs, cs = m.row_slice(rb), m.col_slice(cb)
+                recovered[rs, cs] = tile[: rs.stop - rs.start, : cs.stop - cs.start]
+        assert (recovered == w).all()
+
+    def test_shape_checked(self):
+        m = LayerMapping(128, 128)
+        with pytest.raises(ConfigurationError):
+            m.block_weights(np.zeros((64, 64)), 0, 0)
+
+
+class TestValidation:
+    def test_rejects_bad_layer(self):
+        with pytest.raises(ConfigurationError):
+            LayerMapping(0, 10)

@@ -1,0 +1,80 @@
+"""Table 2: pipeline stage durations and the derived clock."""
+
+import pytest
+
+from repro.sram.bitcell import ALL_CELLS, CellType
+from repro.sram.readport import CLOCK_PERIOD_NS
+from repro.tile.pipeline import PipelineModel
+
+
+@pytest.fixture(scope="module")
+def model() -> PipelineModel:
+    return PipelineModel()
+
+
+#: Table 2 of the paper, as printed (2-decimal ns).
+PAPER_TABLE2 = {
+    CellType.C6T: (1.01, 0.69),
+    CellType.C1RW1R: (1.01, 1.08),
+    CellType.C1RW2R: (1.04, 1.18),
+    CellType.C1RW3R: (1.03, 1.14),
+    CellType.C1RW4R: (1.01, 1.23),
+}
+
+
+class TestTable2:
+    @pytest.mark.parametrize("cell", ALL_CELLS)
+    def test_arbiter_stage_matches_paper(self, model, cell):
+        expected_arb, _ = PAPER_TABLE2[cell]
+        assert round(model.arbiter_stage_ns(cell), 2) == pytest.approx(expected_arb)
+
+    @pytest.mark.parametrize("cell", ALL_CELLS)
+    def test_sram_neuron_stage_matches_paper(self, model, cell):
+        _, expected_sram = PAPER_TABLE2[cell]
+        assert round(model.sram_neuron_stage_ns(cell), 2) == pytest.approx(
+            expected_sram
+        )
+
+    def test_clock_is_max_of_stages(self, model):
+        for cell in ALL_CELLS:
+            report = model.stage_report(cell)
+            assert report.clock_period_ns == max(
+                report.arbiter_stage_ns, report.sram_neuron_stage_ns
+            )
+
+    def test_6t_is_arbiter_bound(self, model):
+        assert model.stage_report(CellType.C6T).bottleneck == "arbiter"
+
+    def test_multiport_cells_are_sram_bound(self, model):
+        """Paper: 'with more added ports the SRAM Read + Neuron
+        accumulation stage becomes the bottleneck'."""
+        for cell in ALL_CELLS[1:]:
+            assert model.stage_report(cell).bottleneck == "sram+neuron"
+
+    def test_arbiter_stage_flat_across_cells(self, model):
+        stages = [model.arbiter_stage_ns(c) for c in ALL_CELLS]
+        assert max(stages) - min(stages) < 0.05
+
+    def test_table2_order(self, model):
+        assert [r.cell_type for r in model.table2()] == list(ALL_CELLS)
+
+
+class TestClockConsistency:
+    @pytest.mark.parametrize("cell", ALL_CELLS)
+    def test_matches_readport_constant(self, model, cell):
+        """The pipeline-derived clock must equal the calibration
+        constant the read-port model uses for its precharge budget."""
+        assert model.clock_period_ns(cell) == pytest.approx(
+            CLOCK_PERIOD_NS[cell], abs=1e-4
+        )
+
+    def test_4r_clock_frequency_is_810mhz(self, model):
+        """Table 3: clock frequency 810 MHz."""
+        report = model.stage_report(CellType.C1RW4R)
+        assert report.clock_frequency_mhz == pytest.approx(810.0, rel=2e-3)
+
+    def test_6t_supports_4_4_1_timing(self, model):
+        """2 x 128 cycles at the 6T clock = 257.8 ns (section 4.4.1)."""
+        assert 256 * model.clock_period_ns(CellType.C6T) == pytest.approx(
+            257.8, rel=1e-3
+        )

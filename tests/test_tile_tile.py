@@ -1,0 +1,151 @@
+"""Cycle-accurate tile: correctness against matrix arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sram.bitcell import ALL_CELLS, CellType
+from repro.tile.tile import Tile
+
+
+def reference_outputs(weights: np.ndarray, thresholds: np.ndarray,
+                      spikes: np.ndarray) -> np.ndarray:
+    """Ground truth: Vmem = spikes @ (2W - 1); fire iff Vmem >= Vth."""
+    vmem = spikes.astype(np.int64) @ (2 * weights.astype(np.int64) - 1)
+    return vmem >= thresholds
+
+
+@pytest.fixture()
+def small_tile(rng) -> Tile:
+    w = rng.integers(0, 2, (256, 128)).astype(np.uint8)
+    th = rng.integers(-10, 25, 128)
+    return Tile(w, th, cell_type=CellType.C1RW4R)
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("cell", ALL_CELLS)
+    def test_matches_matrix_math(self, cell, rng):
+        w = rng.integers(0, 2, (256, 96)).astype(np.uint8)
+        th = rng.integers(-5, 20, 96)
+        tile = Tile(w, th, cell_type=cell)
+        spikes = rng.random(256) < 0.3
+        out = tile.run_inference(spikes)
+        assert (out == reference_outputs(w, th, spikes)).all()
+
+    def test_multiple_inferences(self, small_tile, rng):
+        w = small_tile.weight_matrix()
+        th = np.concatenate(
+            [n.thresholds for n in small_tile.neurons]
+        )[: small_tile.n_out]
+        for _ in range(5):
+            spikes = rng.random(256) < 0.4
+            out = small_tile.run_inference(spikes)
+            assert (out == reference_outputs(w, th, spikes)).all()
+
+    def test_readout_returns_vmem(self, rng):
+        w = rng.integers(0, 2, (128, 10)).astype(np.uint8)
+        th = np.full(10, 511)
+        tile = Tile(w, th, cell_type=CellType.C1RW2R)
+        spikes = rng.random(128) < 0.5
+        vmem = tile.run_inference(spikes, readout=True)
+        expected = spikes.astype(np.int64) @ (2 * w.astype(np.int64) - 1)
+        assert (vmem == expected).all()
+
+    def test_zero_spikes(self, small_tile):
+        out = small_tile.run_inference(np.zeros(256, dtype=bool))
+        th = np.concatenate([n.thresholds for n in small_tile.neurons])[:128]
+        assert (out == (0 >= th)).all()
+
+
+class TestCycleCounts:
+    def test_cycles_bounded_by_spikes_over_ports(self, rng):
+        """Per row block: ceil(spikes_in_block / ports) cycles."""
+        w = rng.integers(0, 2, (256, 64)).astype(np.uint8)
+        tile = Tile(w, np.zeros(64), cell_type=CellType.C1RW4R)
+        spikes = np.zeros(256, dtype=bool)
+        spikes[:16] = True   # 16 spikes in row block 0 only
+        tile.run_inference(spikes)
+        assert tile.stats.cycles == 4  # 16 / 4 ports
+        assert tile.stats.fire_cycles == 1
+
+    def test_single_port_serialises(self, rng):
+        w = rng.integers(0, 2, (128, 64)).astype(np.uint8)
+        tile = Tile(w, np.zeros(64), cell_type=CellType.C6T)
+        spikes = np.zeros(128, dtype=bool)
+        spikes[:10] = True
+        tile.run_inference(spikes)
+        assert tile.stats.cycles == 10
+
+    def test_row_blocks_work_in_parallel(self, rng):
+        """Two arbiters grant simultaneously: 2 x p spikes per cycle."""
+        w = rng.integers(0, 2, (256, 64)).astype(np.uint8)
+        tile = Tile(w, np.zeros(64), cell_type=CellType.C1RW4R)
+        spikes = np.zeros(256, dtype=bool)
+        spikes[:8] = True      # block 0
+        spikes[128:136] = True  # block 1
+        tile.run_inference(spikes)
+        assert tile.stats.cycles == 2
+        assert tile.stats.grants == 16
+
+    def test_array_reads_count_column_blocks(self, rng):
+        w = rng.integers(0, 2, (128, 256)).astype(np.uint8)  # 2 col blocks
+        tile = Tile(w, np.zeros(256), cell_type=CellType.C1RW4R)
+        spikes = np.zeros(128, dtype=bool)
+        spikes[:4] = True
+        tile.run_inference(spikes)
+        assert tile.stats.array_reads == 8  # 4 spikes x 2 column blocks
+
+
+class TestEnergyAccounting:
+    def test_dynamic_energy_accumulates(self, small_tile, rng):
+        small_tile.run_inference(rng.random(256) < 0.4)
+        assert small_tile.dynamic_energy_pj() > 0.0
+
+    def test_reset_stats(self, small_tile, rng):
+        small_tile.run_inference(rng.random(256) < 0.4)
+        small_tile.reset_stats()
+        assert small_tile.stats.cycles == 0
+        assert small_tile.dynamic_energy_pj() == 0.0
+
+    def test_leakage_grows_with_cell(self, rng):
+        w = rng.integers(0, 2, (128, 128)).astype(np.uint8)
+        t1 = Tile(w, np.zeros(128), cell_type=CellType.C1RW1R)
+        t4 = Tile(w, np.zeros(128), cell_type=CellType.C1RW4R)
+        assert t4.leakage_power_mw() > t1.leakage_power_mw()
+
+    def test_area_grows_with_cell(self, rng):
+        w = rng.integers(0, 2, (128, 128)).astype(np.uint8)
+        t6 = Tile(w, np.zeros(128), cell_type=CellType.C6T)
+        t4 = Tile(w, np.zeros(128), cell_type=CellType.C1RW4R)
+        assert t4.area_um2() > 1.5 * t6.area_um2()
+
+
+class TestStructure:
+    def test_macro_for_neuron(self, rng):
+        w = rng.integers(0, 2, (256, 200)).astype(np.uint8)
+        tile = Tile(w, np.zeros(200), cell_type=CellType.C1RW2R)
+        macro, col = tile.macro_for_neuron(130, row_block=1)
+        assert col == 2
+        assert macro is tile.macros[1][1]
+
+    def test_macro_for_neuron_range_checked(self, small_tile):
+        with pytest.raises(ConfigurationError):
+            small_tile.macro_for_neuron(500, 0)
+
+    def test_weight_matrix_roundtrip(self, rng):
+        w = rng.integers(0, 2, (300, 140)).astype(np.uint8)
+        tile = Tile(w, np.zeros(140), cell_type=CellType.C1RW3R)
+        assert (tile.weight_matrix() == w).all()
+
+    def test_fire_before_drain_rejected(self, small_tile, rng):
+        small_tile.submit_spikes(rng.random(256) < 0.5)
+        with pytest.raises(SimulationError):
+            small_tile.fire()
+
+    def test_spike_shape_checked(self, small_tile):
+        with pytest.raises(ConfigurationError):
+            small_tile.submit_spikes(np.zeros(100, dtype=bool))
+
+    def test_threshold_shape_checked(self, rng):
+        with pytest.raises(ConfigurationError):
+            Tile(rng.integers(0, 2, (64, 32)), np.zeros(16))

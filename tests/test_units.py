@@ -1,0 +1,89 @@
+"""Unit-convention helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestRcDelay:
+    def test_kohm_ff_gives_ns(self):
+        # 1 kOhm * 1000 fF = 1 ns.
+        assert units.rc_delay_ns(1.0, 1000.0) == pytest.approx(1.0)
+
+    def test_zero_is_zero(self):
+        assert units.rc_delay_ns(0.0, 123.0) == 0.0
+
+
+class TestCv2Energy:
+    def test_ff_v2_gives_pj(self):
+        # 1000 fF at 1 V = 1 pJ.
+        assert units.cv2_energy_pj(1000.0, 1.0) == pytest.approx(1.0)
+
+    def test_scales_quadratically_with_voltage(self):
+        e1 = units.cv2_energy_pj(100.0, 0.5)
+        e2 = units.cv2_energy_pj(100.0, 1.0)
+        assert e2 == pytest.approx(4.0 * e1)
+
+
+class TestChargeEnergy:
+    def test_partial_swing(self):
+        # C * Vsupply * dV: 100 fF from a 0.7 V rail, 0.5 V swing.
+        assert units.charge_energy_pj(100.0, 0.7, 0.5) == pytest.approx(0.035)
+
+    def test_full_swing_matches_cv2(self):
+        assert units.charge_energy_pj(50.0, 0.7, 0.7) == pytest.approx(
+            units.cv2_energy_pj(50.0, 0.7)
+        )
+
+
+class TestPower:
+    def test_pj_per_ns_is_mw(self):
+        assert units.power_mw(607.0, 21.0) == pytest.approx(28.9, rel=1e-3)
+
+    def test_rejects_nonpositive_time(self):
+        with pytest.raises(ValueError):
+            units.power_mw(1.0, 0.0)
+
+
+class TestFrequency:
+    def test_1ns_is_1ghz(self):
+        assert units.frequency_mhz(1.0) == pytest.approx(1000.0)
+
+    def test_paper_clock(self):
+        # 1.2346 ns -> ~810 MHz (the paper's Table 3 clock).
+        assert units.frequency_mhz(1.2346) == pytest.approx(810.0, rel=1e-3)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.frequency_mhz(-1.0)
+
+
+class TestThroughput:
+    def test_one_item_per_ns_is_1e9(self):
+        assert units.throughput_per_s(1.0, 1.0) == pytest.approx(1e9)
+
+    def test_rejects_nonpositive_time(self):
+        with pytest.raises(ValueError):
+            units.throughput_per_s(1.0, 0.0)
+
+
+class TestSiFormat:
+    def test_mega(self):
+        assert units.si_format(44e6, "Inf/s") == "44 MInf/s"
+
+    def test_pico(self):
+        assert units.si_format(607e-12, "J") == "607 pJ"
+
+    def test_zero(self):
+        assert units.si_format(0.0, "W") == "0 W"
+
+    def test_milli(self):
+        assert units.si_format(29e-3, "W") == "29 mW"
+
+
+class TestFormatRatio:
+    def test_basic(self):
+        assert units.format_ratio(3.06) == "3.1x"
+        assert units.format_ratio(2.2456, digits=2) == "2.25x"
