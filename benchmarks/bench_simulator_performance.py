@@ -2,13 +2,26 @@
 
 Keeps the spike-by-spike simulator honest as the codebase grows: one
 full-network inference and one functional-model batch must stay fast
-enough for the system sweeps to be practical.
+enough for the system sweeps to be practical, and the schedule-based
+fast engine must keep its large lead over the per-cycle reference while
+producing bit-identical traces.  The fast-vs-cycle comparison is
+written to ``BENCH_simulator.json`` so the perf trajectory is tracked
+across PRs.
 """
 
+import json
+import time
+from pathlib import Path
+
+import numpy as np
 import pytest
 
 from repro.snn.encode import encode_images
 from repro.sram.bitcell import CellType
+from repro.tile.network import InferenceTrace
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
+BATCH_IMAGES = 256
 
 
 @pytest.mark.benchmark(group="simulator")
@@ -33,3 +46,75 @@ def test_functional_batch_speed(benchmark, reference_model):
 
     predictions = benchmark(run)
     assert predictions.shape == (256,)
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_fast_engine_batch_speed(benchmark, evaluator, reference_model):
+    """Schedule-based engine on a 256-image cycle-accurate batch."""
+    net = evaluator.build_network(CellType.C1RW4R)
+    spikes = encode_images(reference_model.dataset.test_images[:BATCH_IMAGES])
+    net.fast_engine()  # build outside the timed region
+
+    def run():
+        net.reset_stats()
+        return net.classify_batch(spikes, engine="fast")
+
+    predictions = benchmark(run)
+    assert predictions.shape == (BATCH_IMAGES,)
+
+
+def test_engine_speedup_and_equivalence(evaluator, reference_model):
+    """Fast vs cycle engine on the reference 768:256:256:256:10 network.
+
+    Times both engines over the same 256-image batch, asserts the >=20x
+    speedup target with bit-identical predictions and trace statistics,
+    and emits BENCH_simulator.json for cross-PR tracking.
+    """
+    spikes = encode_images(reference_model.dataset.test_images[:BATCH_IMAGES])
+    net = evaluator.build_network(CellType.C1RW4R)
+
+    net.reset_stats()
+    cycle_trace = InferenceTrace()
+    t0 = time.perf_counter()
+    cycle_preds = np.array([net.classify(row, cycle_trace) for row in spikes])
+    cycle_s = time.perf_counter() - t0
+    cycle_energy_pj = net.dynamic_energy_pj()
+
+    net.fast_engine()  # exclude one-time weight snapshot from the timing
+    net.reset_stats()
+    fast_trace = InferenceTrace()
+    t0 = time.perf_counter()
+    fast_preds = net.classify_batch(spikes, fast_trace, engine="fast")
+    fast_s = time.perf_counter() - t0
+    fast_energy_pj = net.dynamic_energy_pj()
+
+    assert np.array_equal(fast_preds, cycle_preds)
+    assert fast_trace.per_tile_cycles == cycle_trace.per_tile_cycles
+    assert fast_trace.total_spikes == cycle_trace.total_spikes
+    assert fast_trace.total_grants == cycle_trace.total_grants
+    assert fast_trace.total_array_reads == cycle_trace.total_array_reads
+    assert fast_energy_pj == pytest.approx(cycle_energy_pj, rel=1e-9)
+
+    speedup = cycle_s / fast_s
+    payload = {
+        "batch_images": BATCH_IMAGES,
+        "network": "768:256:256:256:10",
+        "cell_type": CellType.C1RW4R.value,
+        "cycle_engine": {
+            "seconds": round(cycle_s, 4),
+            "images_per_s": round(BATCH_IMAGES / cycle_s, 2),
+        },
+        "fast_engine": {
+            "seconds": round(fast_s, 4),
+            "images_per_s": round(BATCH_IMAGES / fast_s, 2),
+        },
+        "speedup": round(speedup, 1),
+        "bit_identical_traces": True,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"\nfast engine: {BATCH_IMAGES / fast_s:,.0f} img/s, "
+        f"cycle engine: {BATCH_IMAGES / cycle_s:,.0f} img/s "
+        f"-> {speedup:.0f}x (JSON: {BENCH_JSON.name})"
+    )
+    assert speedup >= 20.0

@@ -79,6 +79,9 @@ class MultiPortArbiter:
         self.width = width
         self.ports = ports
         self._pending = np.zeros(width, dtype=bool)
+        # Maintained incrementally so per-cycle bookkeeping does not
+        # rescan the full pending vector (hot path of the simulator).
+        self._pending_count = 0
         self.cycles_elapsed = 0
         self.grants_issued = 0
 
@@ -92,6 +95,7 @@ class MultiPortArbiter:
                 f"request vector shape {r.shape} != ({self.width},)"
             )
         self._pending |= r.astype(bool)
+        self._pending_count = int(self._pending.sum())
 
     def submit_rows(self, rows: np.ndarray | list[int]) -> None:
         """Latch spike requests by wordline index."""
@@ -99,16 +103,17 @@ class MultiPortArbiter:
         if idx.size and (idx.min() < 0 or idx.max() >= self.width):
             raise SimulationError(f"request row out of range: {idx}")
         self._pending[idx] = True
+        self._pending_count = int(self._pending.sum())
 
     @property
     def pending_count(self) -> int:
-        return int(self._pending.sum())
+        return self._pending_count
 
     @property
     def r_empty(self) -> bool:
         """High when no spike requests are pending (enables the neuron
         threshold comparison — section 3.4)."""
-        return not self._pending.any()
+        return self._pending_count == 0
 
     # -- clocked operation ---------------------------------------------------------
 
@@ -124,11 +129,12 @@ class MultiPortArbiter:
         pending_idx = np.flatnonzero(self._pending)
         granted = pending_idx[: self.ports]
         self._pending[granted] = False
+        self._pending_count -= granted.size
         self.grants_issued += granted.size
         return ArbiterGrant(
             granted_rows=granted.copy(),
             no_request=no_request,
-            remaining_requests=self.pending_count,
+            remaining_requests=self._pending_count,
         )
 
     def step_reference(self) -> ArbiterGrant:
@@ -148,11 +154,12 @@ class MultiPortArbiter:
             grants.append(int(np.flatnonzero(grant_vec)[0]))
         granted = np.asarray(grants, dtype=np.int64)
         self._pending[granted] = False
+        self._pending_count -= granted.size
         self.grants_issued += granted.size
         return ArbiterGrant(
             granted_rows=granted,
             no_request=no_request,
-            remaining_requests=self.pending_count,
+            remaining_requests=self._pending_count,
         )
 
     def drain(self) -> list[ArbiterGrant]:
@@ -164,6 +171,7 @@ class MultiPortArbiter:
 
     def reset(self) -> None:
         self._pending[:] = False
+        self._pending_count = 0
         self.cycles_elapsed = 0
         self.grants_issued = 0
 

@@ -102,6 +102,7 @@ class OnlineLearningEngine:
                 column = macro.array.dump_weights()[:, local_col]
                 new_column = self.rule.update_column(column, pre_block)
                 macro.update_column_6t(local_col, new_column)
+        self.tile.note_weight_update()
 
 
 def column_update_comparison(rows: int = 128, cols: int = 128,

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -35,6 +36,7 @@ _REGISTER_UPDATE_NS = 0.25
 _SINGLE_INPUT_UPDATE_NS = 0.20
 
 
+@lru_cache(maxsize=None)
 def neuron_add_time_ns(ports: int, multiport: bool = True) -> float:
     """Accumulation time for ``ports`` simultaneous inputs.
 
@@ -62,8 +64,12 @@ class NeuronTiming:
     compare_energy_fj: float
 
 
+@lru_cache(maxsize=None)
 def neuron_timing(ports: int) -> NeuronTiming:
     """Timing/energy datasheet for a ``ports``-input neuron.
+
+    Cached: tile construction and the fast engine's ledger roll-ups
+    look this datasheet up repeatedly for the same port count.
 
     Energy figures: each valid input toggles the +-1 decode and one
     adder slice of every neuron (~0.3 fJ per neuron at 3nm/0.7 V); the

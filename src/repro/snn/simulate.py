@@ -30,17 +30,25 @@ class AccuracyReport:
 def evaluate_accuracy(model: BinarySNN, images: np.ndarray,
                       labels: np.ndarray, threshold: float = 0.5) -> AccuracyReport:
     """Encode ``images`` and measure classification accuracy."""
-    labels = np.asarray(labels)
+    labels = np.asarray(labels).astype(np.int64)
     if images.shape[0] != labels.shape[0]:
         raise ConfigurationError("images and labels must align")
     spikes = encode_images(images, threshold)
     predictions = model.classify(spikes)
-    correct = int((predictions == labels).sum())
-    per_class = np.zeros(10)
-    for c in range(10):
-        mask = labels == c
-        if mask.any():
-            per_class[c] = float((predictions[mask] == c).mean())
+    hits = predictions == labels
+    correct = int(hits.sum())
+    n_classes = model.layer_sizes[-1]
+    # Out-of-range labels can never be hit (predictions are class
+    # indices); keep them out of the bincounts so per-class stays
+    # (n_classes,)-shaped.
+    in_range = (labels >= 0) & (labels < n_classes)
+    class_totals = np.bincount(labels[in_range], minlength=n_classes)
+    class_hits = np.bincount(labels[in_range & hits], minlength=n_classes)
+    per_class = np.divide(
+        class_hits, class_totals,
+        out=np.zeros(n_classes, dtype=np.float64),
+        where=class_totals > 0,
+    )
     return AccuracyReport(
         correct=correct, total=int(labels.shape[0]), per_class_accuracy=per_class
     )

@@ -115,4 +115,5 @@ class FaultInjector:
                     faulty, flips = flip_bits(bits, bit_error_rate, self._rng)
                     macro.array.load_weights(faulty)
                     total += flips
+            tile.note_weight_update()
         return total

@@ -99,10 +99,19 @@ class SramMacro:
         the sensed bits, shape ``(n_spikes, cols)``.
         """
         data = self.array.read_rows(row_indices)
-        n = data.shape[0]
-        self.ledger.inference_reads += n
-        self.ledger.inference_read_energy_pj += n * self._operating_point.read_energy_pj
+        self.log_inference_reads(data.shape[0])
         return data
+
+    def log_inference_reads(self, count: int) -> None:
+        """Charge ``count`` inference row reads to the energy ledger.
+
+        Used directly by the schedule-based fast engine, which knows
+        the read count in closed form without touching the array.
+        """
+        self.ledger.inference_reads += count
+        self.ledger.inference_read_energy_pj += (
+            count * self._operating_point.read_energy_pj
+        )
 
     # -- learning path --------------------------------------------------------------
 

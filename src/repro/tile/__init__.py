@@ -8,7 +8,9 @@ with spikes passed fully in parallel as binary pulses.
 from repro.tile.pipeline import PipelineModel, PipelineStageReport
 from repro.tile.mapping import LayerMapping
 from repro.tile.tile import Tile, TileInferenceStats
-from repro.tile.network import EsamNetwork, InferenceTrace
+from repro.tile.fast import DrainSchedule, drain_schedule, grant_cycle_of_rows
+from repro.tile.engine import FastEngine
+from repro.tile.network import ENGINES, EsamNetwork, InferenceTrace
 from repro.tile.scheduler import PipelinedScheduler, PipelineRunReport
 
 __all__ = [
@@ -17,6 +19,11 @@ __all__ = [
     "LayerMapping",
     "Tile",
     "TileInferenceStats",
+    "DrainSchedule",
+    "drain_schedule",
+    "grant_cycle_of_rows",
+    "FastEngine",
+    "ENGINES",
     "EsamNetwork",
     "InferenceTrace",
     "PipelinedScheduler",

@@ -1,0 +1,271 @@
+"""Schedule-based batched inference engine.
+
+The cycle-accurate path (:class:`~repro.tile.tile.Tile` stepped by
+:class:`~repro.tile.network.EsamNetwork`) is the bit-true reference,
+but its per-cycle Python loop makes large system sweeps impractical.
+Fixed-priority arbitration is deterministic, so the whole drain of an
+input spike vector can be *computed* instead of clocked
+(:mod:`repro.tile.fast`), and the neuron accumulation of a full drain
+collapses to one ``spikes @ (2W - 1)`` matmul per layer with saturating
+clipping.
+
+:class:`FastEngine` runs that closed form over ``(B, n_in)`` batches
+and replays the results into the exact same bookkeeping the per-cycle
+path maintains — :class:`TileInferenceStats`, the per-macro energy
+ledgers, the neuron ledgers and the arbiter counters/energy — so every
+downstream consumer (:class:`InferenceTrace`,
+:class:`~repro.system.energy.SystemEnergyModel`, ``HardwareReport``)
+sees numbers *identical* to a sequential cycle-accurate run.  The
+equivalence test suite asserts this across cell types, Vprech regimes
+and temporal mode.
+
+Saturation is handled exactly: the closed form clips once per drain,
+which matches the per-cycle reference whenever no membrane can cross a
+12-bit rail mid-drain; batch rows where that cannot be ruled out
+(start magnitude + pending spikes beyond a rail) are replayed in grant
+order with per-step clipping, so equivalence holds unconditionally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.tile.fast import (
+    DrainSchedule,
+    drain_schedule,
+    grant_cycle_of_rows,
+    saturating_accumulate,
+    signed_weights,
+)
+
+
+class _TileKernel:
+    """Precomputed batched view of one tile (weights, limits, shape)."""
+
+    __slots__ = ("tile", "signed", "thresholds", "vmem_min", "vmem_max")
+
+    def __init__(self, tile) -> None:
+        self.tile = tile
+        self.signed = signed_weights(tile.weight_matrix())
+        self.thresholds = np.concatenate([n.thresholds for n in tile.neurons])
+        reference = tile.neurons[0]
+        self.vmem_min = reference._vmem_min
+        self.vmem_max = reference._vmem_max
+
+    def accumulate(self, vmem: np.ndarray, spikes: np.ndarray) -> np.ndarray:
+        """Drain a spike batch into the membranes, exactly.
+
+        The one-matmul-then-clip form is exact unless a membrane could
+        cross a register rail *mid*-drain (start magnitude + pending
+        spikes beyond the rail); those rare rows are recomputed in
+        grant order with per-accumulate clipping, so the result always
+        equals the per-cycle reference.
+        """
+        out = saturating_accumulate(
+            vmem, spikes, self.signed, self.vmem_min, self.vmem_max
+        )
+        pending = spikes.sum(axis=1)
+        needs_exact = np.flatnonzero(
+            (vmem.max(axis=1, initial=0) + pending > self.vmem_max)
+            | (vmem.min(axis=1, initial=0) - pending < self.vmem_min)
+        )
+        for b in needs_exact:
+            out[b] = self._accumulate_in_grant_order(vmem[b], spikes[b])
+        return out
+
+    def _accumulate_in_grant_order(self, vmem_row: np.ndarray,
+                                   spike_row: np.ndarray) -> np.ndarray:
+        """Reference-ordered accumulation with per-step clipping.
+
+        Replays the drain exactly as ``Tile.step`` applies it: cycle by
+        cycle, row block by row block, clipping the registers after
+        each block's contribution.  Only used when the closed form
+        could saturate mid-drain.
+        """
+        tile = self.tile
+        dim = tile.mapping.array_dim
+        blocks = []
+        for rb in range(tile.mapping.row_blocks):
+            lo = rb * dim
+            rows, cycles = grant_cycle_of_rows(
+                spike_row[lo: min(lo + dim, tile.n_in)], tile.ports
+            )
+            blocks.append((rows + lo, cycles))
+        n_cycles = max(
+            (int(c[-1]) + 1 for _, c in blocks if c.size), default=0
+        )
+        vmem = vmem_row.astype(np.int64).copy()
+        for cycle in range(n_cycles):
+            for rows, cycles in blocks:
+                granted = rows[cycles == cycle]
+                if granted.size:
+                    delta = np.rint(
+                        self.signed[granted].sum(axis=0)
+                    ).astype(np.int64)
+                    vmem = np.clip(vmem + delta, self.vmem_min, self.vmem_max)
+        return vmem
+
+
+class FastEngine:
+    """Batched, trace-equivalent inference over an :class:`EsamNetwork`.
+
+    The constructor snapshots the weight matrices out of the SRAM
+    macros; if weights are later mutated in place (online learning),
+    build a fresh engine (``EsamNetwork.fast_engine(refresh=True)``).
+    """
+
+    def __init__(self, network) -> None:
+        self.network = network
+        self._kernels = [_TileKernel(tile) for tile in network.tiles]
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _drain(self, kernel: _TileKernel, spikes: np.ndarray) -> DrainSchedule:
+        """Drain a spike batch through one tile, replaying the stats.
+
+        Mirrors ``Tile.submit_spikes`` plus the ``step()``-until-
+        ``R_empty`` loop: every arbiter clocks on every drain cycle
+        (idle ones included), each granted row is read once per column
+        block, and each granted spike raises one validity flag at every
+        neuron segment.
+        """
+        tile = kernel.tile
+        schedule = drain_schedule(spikes, tile.ports, tile.mapping.array_dim)
+        grants = schedule.total_grants
+        cycles = schedule.total_cycles
+        tile.stats.input_spikes += grants
+        tile.stats.cycles += cycles
+        tile.stats.grants += grants
+        tile.stats.array_reads += grants * tile.mapping.col_blocks
+        tile.arbiter_energy_pj += (
+            cycles * len(tile.arbiters) * tile._arbiter_cycle_energy_pj
+        )
+        per_block = schedule.grants_per_block()
+        for rb, arbiter in enumerate(tile.arbiters):
+            arbiter.cycles_elapsed += cycles
+            arbiter.grants_issued += int(per_block[rb])
+        for rb, macro_row in enumerate(tile.macros):
+            reads = int(per_block[rb])
+            for macro in macro_row:
+                macro.log_inference_reads(reads)
+        for neurons in tile.neurons:
+            neurons.accumulate_events += grants
+        return schedule
+
+    # -- time-static inference ------------------------------------------------
+
+    @staticmethod
+    def _starting_vmem(tile, batch: int) -> np.ndarray:
+        """Membranes at the start of a static batch.
+
+        The hardware accumulates on top of whatever charge the neurons
+        hold (e.g. residue of a preceding temporal run); only the first
+        batch image sees it — every fire resets all membranes after.
+        """
+        start = np.zeros((batch, tile.n_out), dtype=np.int64)
+        if batch:
+            residual = tile.membrane_potentials()
+            if residual.any():
+                start[0] = residual
+        return start
+
+    def infer_batch(self, spikes: np.ndarray, trace=None) -> np.ndarray:
+        """Run a ``(B, n_in)`` spike batch through every tile.
+
+        Returns the output-layer membrane readout ``(B, n_classes)``
+        (plus the digital bias) and updates ``trace`` and all hardware
+        ledgers exactly as ``B`` sequential ``infer`` calls would.
+        """
+        x = np.atleast_2d(np.asarray(spikes)).astype(bool)
+        tiles = self.network.tiles
+        if x.shape[1] != tiles[0].n_in:
+            raise ConfigurationError(
+                f"spike width {x.shape[1]} != {tiles[0].n_in}"
+            )
+        batch = x.shape[0]
+        cycles_before = [t.stats.total_cycles for t in tiles]
+        for kernel in self._kernels[:-1]:
+            tile = kernel.tile
+            self._drain(kernel, x)
+            vmem = kernel.accumulate(self._starting_vmem(tile, batch), x)
+            fired = vmem >= kernel.thresholds
+            tile.stats.fire_cycles += batch
+            tile.stats.output_spikes += int(fired.sum())
+            for neurons in tile.neurons:
+                neurons.fire_checks += batch
+                # fire_check(reset_all=True) clears every membrane.
+                if batch:
+                    neurons.vmem[:] = 0
+            x = fired
+        kernel = self._kernels[-1]
+        tile = kernel.tile
+        self._drain(kernel, x)
+        vmem = kernel.accumulate(self._starting_vmem(tile, batch), x)
+        tile.stats.fire_cycles += batch
+        # The readout path resets the output-tile neurons every image,
+        # which also clears their energy ledger — replicate that.
+        for neurons in tile.neurons:
+            neurons.reset()
+        scores = vmem.astype(np.float64)
+        if self.network.output_bias is not None:
+            scores = scores + self.network.output_bias
+        if trace is not None:
+            trace.record(tiles, batch, cycles_before)
+        return scores
+
+    def classify_batch(self, spikes: np.ndarray, trace=None) -> np.ndarray:
+        """Predicted class per batch row (arg-max readout)."""
+        return np.argmax(self.infer_batch(spikes, trace), axis=1)
+
+    # -- temporal mode ---------------------------------------------------------
+
+    def run_temporal(self, spike_trains: np.ndarray):
+        """Multi-timestep run with persistent membranes.
+
+        Matches :meth:`EsamNetwork.run_temporal` exactly: membranes are
+        seeded from the neuron arrays, each tile drains and fires with
+        fired-only reset per timestep, and the final membranes are
+        written back — so the engines are interchangeable mid-run in
+        either direction.
+        """
+        from repro.snn.temporal import TemporalResult
+
+        trains = np.atleast_2d(np.asarray(spike_trains)).astype(bool)
+        tiles = self.network.tiles
+        if trains.shape[1] != tiles[0].n_in:
+            raise ConfigurationError(
+                f"spike width {trains.shape[1]} != {tiles[0].n_in}"
+            )
+        timesteps = trains.shape[0]
+        n_out = tiles[-1].n_out
+        out_counts = np.zeros(n_out, dtype=np.int64)
+        hidden_totals = np.zeros(timesteps, dtype=np.int64)
+        vmem = [t.membrane_potentials()[None, :].copy() for t in tiles]
+        for t in range(timesteps):
+            x = trains[t][None, :]
+            for k, kernel in enumerate(self._kernels):
+                tile = kernel.tile
+                self._drain(kernel, x)
+                vmem[k] = kernel.accumulate(vmem[k], x)
+                fired = vmem[k] >= kernel.thresholds
+                vmem[k][fired] = 0
+                tile.stats.fire_cycles += 1
+                tile.stats.output_spikes += int(fired.sum())
+                for neurons in tile.neurons:
+                    neurons.fire_checks += 1
+                x = fired
+                if k < len(tiles) - 1:
+                    hidden_totals[t] += int(fired.sum())
+            out_counts += x[0].astype(np.int64)
+        for k, tile in enumerate(tiles):
+            for cb, neurons in enumerate(tile.neurons):
+                neurons.vmem[:] = vmem[k][0, tile.mapping.col_slice(cb)]
+        final = vmem[-1][0].astype(np.float64)
+        if self.network.output_bias is not None:
+            final = final + self.network.output_bias
+        return TemporalResult(
+            spike_counts=out_counts[None, :],
+            final_vmem=final[None, :],
+            hidden_spike_totals=hidden_totals,
+        )

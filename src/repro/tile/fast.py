@@ -1,0 +1,142 @@
+"""Batched drain-schedule primitives for the fast inference engine.
+
+The cycle-accurate simulator steps every arbiter once per clock until
+``R_empty``.  Because the cascaded arbiter is a *fixed-priority* device,
+that whole per-cycle process is deterministic given the pending vector:
+row ``r`` is granted in cycle ``rank(r among pending) // ports``, a row
+block with ``s`` pending spikes drains in ``ceil(s / ports)`` cycles,
+and the tile reaches ``R_empty`` after the slowest row block.  Nothing
+about the drain needs to be simulated cycle-by-cycle — it can be
+*computed* with batched numpy over ``(B, n_in)`` spike matrices.
+
+This module holds the pure-numpy primitives; the stateful engine that
+replays the schedule into the tile statistics and energy ledgers lives
+in :mod:`repro.tile.engine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.tile.mapping import ARRAY_DIM
+
+
+@dataclass(frozen=True)
+class DrainSchedule:
+    """Closed-form drain of a batch of spike vectors through one tile.
+
+    All quantities are exactly what the per-cycle reference
+    (:meth:`repro.tile.tile.Tile.step` looped until ``R_empty``) would
+    accumulate, proven by the equivalence test suite.
+    """
+
+    #: Pending spikes per image per row block, shape ``(B, row_blocks)``.
+    pending_per_block: np.ndarray
+    #: Total grants (= input spikes) per image, shape ``(B,)``.
+    grants: np.ndarray
+    #: Drain cycles per image (max over row blocks), shape ``(B,)``.
+    cycles: np.ndarray
+    #: Arbiter grant ports per row block.
+    ports: int
+
+    @property
+    def batch(self) -> int:
+        return int(self.grants.shape[0])
+
+    @property
+    def total_grants(self) -> int:
+        return int(self.grants.sum())
+
+    @property
+    def total_cycles(self) -> int:
+        return int(self.cycles.sum())
+
+    def grants_per_block(self) -> np.ndarray:
+        """Batch-total grants per row block, shape ``(row_blocks,)``."""
+        return self.pending_per_block.sum(axis=0)
+
+
+def block_pending_counts(spikes: np.ndarray,
+                         array_dim: int = ARRAY_DIM) -> np.ndarray:
+    """Pending-request count per 128-row arbiter block.
+
+    ``spikes`` is a boolean ``(B, n_in)`` matrix; returns int64
+    ``(B, ceil(n_in / array_dim))``.
+    """
+    spikes = np.asarray(spikes)
+    if spikes.ndim != 2:
+        raise ConfigurationError("spike matrix must be 2-D (batch, n_in)")
+    if array_dim < 1:
+        raise ConfigurationError(f"array_dim must be >= 1, got {array_dim}")
+    starts = np.arange(0, spikes.shape[1], array_dim)
+    return np.add.reduceat(spikes.astype(np.int64), starts, axis=1)
+
+
+def drain_schedule(spikes: np.ndarray, ports: int,
+                   array_dim: int = ARRAY_DIM) -> DrainSchedule:
+    """Schedule a batch of spike vectors through fixed-priority arbiters.
+
+    Per image, every row block holding ``s`` pending spikes drains in
+    ``ceil(s / ports)`` cycles; the tile keeps clocking until its
+    slowest block empties (all arbiters step every cycle), so the drain
+    lasts ``max_blocks ceil(s / ports)`` cycles and issues exactly one
+    grant per pending spike.
+    """
+    if ports < 1:
+        raise ConfigurationError(f"ports must be >= 1, got {ports}")
+    pending = block_pending_counts(spikes, array_dim)
+    cycles = -(-pending // ports)  # ceil division, elementwise
+    return DrainSchedule(
+        pending_per_block=pending,
+        grants=pending.sum(axis=1),
+        cycles=cycles.max(axis=1),
+        ports=ports,
+    )
+
+
+def grant_cycle_of_rows(block_spikes: np.ndarray,
+                        ports: int) -> tuple[np.ndarray, np.ndarray]:
+    """Grant cycle of every pending row in one arbiter block.
+
+    Fixed-priority arbitration grants the leftmost ``ports`` pending
+    rows each cycle, so row ``r`` wins in cycle
+    ``rank(r among pending) // ports``.  Returns ``(rows, cycles)``
+    in priority order — the exact per-cycle grant trace
+    :meth:`MultiPortArbiter.drain` would produce, without clocking it.
+    """
+    if ports < 1:
+        raise ConfigurationError(f"ports must be >= 1, got {ports}")
+    block_spikes = np.asarray(block_spikes).astype(bool)
+    if block_spikes.ndim != 1:
+        raise ConfigurationError("block spike vector must be 1-D")
+    rows = np.flatnonzero(block_spikes)
+    return rows, np.arange(rows.size, dtype=np.int64) // ports
+
+
+def signed_weights(weights: np.ndarray) -> np.ndarray:
+    """Binary weight bits mapped to the +-1 contribution matrix.
+
+    Returned as float64 so the batched accumulate can run through BLAS
+    (``B x n_in @ n_in x n_out``); products of +-1 entries stay exact
+    integers far below 2**53.
+    """
+    w = np.asarray(weights)
+    return 2.0 * w.astype(np.float64) - 1.0
+
+
+def saturating_accumulate(vmem: np.ndarray, spikes: np.ndarray,
+                          signed: np.ndarray, vmem_min: int,
+                          vmem_max: int) -> np.ndarray:
+    """One full drain of accumulation, with m-bit register saturation.
+
+    Collapses the per-cycle +-1 adds into one matmul and clips to the
+    register range — identical to the per-cycle reference whenever no
+    membrane crosses a rail mid-drain (always true in time-static mode:
+    the partial sums are bounded by the layer fan-in, far below the
+    12-bit rails for every supported layer width).
+    """
+    delta = np.rint(spikes.astype(np.float64) @ signed).astype(np.int64)
+    return np.clip(vmem + delta, vmem_min, vmem_max)

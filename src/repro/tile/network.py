@@ -23,9 +23,22 @@ from repro.errors import ConfigurationError
 from repro.sram.bitcell import CellType
 from repro.sram.electrical import TransposedPortModel
 from repro.sram.readport import ReadPortModel
+from repro.tile.engine import FastEngine
 from repro.tile.mapping import ARRAY_DIM
 from repro.tile.pipeline import PipelineModel
 from repro.tile.tile import Tile
+
+#: Simulation engines: "cycle" steps every tile clock-by-clock (the
+#: bit-true reference); "fast" computes the identical drain schedule,
+#: traces and energies with batched numpy (see repro.tile.engine).
+ENGINES = ("fast", "cycle")
+
+
+def _check_engine(engine: str) -> None:
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"engine must be one of {ENGINES}, got {engine!r}"
+        )
 
 
 @dataclass
@@ -49,6 +62,26 @@ class InferenceTrace:
     def latency_cycles(self) -> int:
         """Single-image latency in cycles (sum of all tiles)."""
         return sum(self.per_tile_cycles)
+
+    def record(self, tiles, images: int, cycles_before: list[int]) -> None:
+        """Accumulate a completed batch of inferences over ``tiles``.
+
+        Shared by the per-cycle and fast engines so both update the
+        trace with the exact same arithmetic.
+        """
+        self.images += images
+        per_tile = [
+            t.stats.total_cycles - b for t, b in zip(tiles, cycles_before)
+        ]
+        if self.per_tile_cycles:
+            self.per_tile_cycles = [
+                a + b for a, b in zip(self.per_tile_cycles, per_tile)
+            ]
+        else:
+            self.per_tile_cycles = per_tile
+        self.total_spikes = sum(t.stats.input_spikes for t in tiles)
+        self.total_grants = sum(t.stats.grants for t in tiles)
+        self.total_array_reads = sum(t.stats.array_reads for t in tiles)
 
 
 class EsamNetwork:
@@ -94,6 +127,8 @@ class EsamNetwork:
                     f"({self.tiles[-1].n_out},)"
                 )
         self.output_bias = output_bias
+        self._fast_engine: FastEngine | None = None
+        self._fast_engine_versions: tuple[int, ...] | None = None
 
     # -- structure ------------------------------------------------------------------
 
@@ -145,27 +180,56 @@ class EsamNetwork:
         if self.output_bias is not None:
             vmem = vmem + self.output_bias
         if trace is not None:
-            trace.images += 1
-            per_tile = [
-                t.stats.total_cycles - b
-                for t, b in zip(self.tiles, cycles_before)
-            ]
-            if trace.per_tile_cycles:
-                trace.per_tile_cycles = [
-                    a + b for a, b in zip(trace.per_tile_cycles, per_tile)
-                ]
-            else:
-                trace.per_tile_cycles = per_tile
-            trace.total_spikes = sum(t.stats.input_spikes for t in self.tiles)
-            trace.total_grants = sum(t.stats.grants for t in self.tiles)
-            trace.total_array_reads = sum(t.stats.array_reads for t in self.tiles)
+            trace.record(self.tiles, 1, cycles_before)
         return vmem
 
     def classify(self, spikes: np.ndarray, trace: InferenceTrace | None = None) -> int:
         """Predicted class: arg-max over output membrane potentials."""
         return int(np.argmax(self.infer(spikes, trace)))
 
-    def run_temporal(self, spike_trains: np.ndarray):
+    # -- batched inference (schedule-based fast engine) ------------------------------
+
+    def fast_engine(self, refresh: bool = False) -> FastEngine:
+        """The schedule-based batched engine over this network.
+
+        The engine snapshots the macro weight matrices at construction
+        and rebuilds automatically when a tile reports an in-place
+        weight mutation (``Tile.note_weight_update``, bumped by the
+        online-learning path).  Pass ``refresh=True`` after mutating
+        weights through any path that bypasses the tile (e.g. poking
+        ``macro.load_weights`` directly).
+        """
+        versions = tuple(t.weight_version for t in self.tiles)
+        if (refresh or self._fast_engine is None
+                or self._fast_engine_versions != versions):
+            self._fast_engine = FastEngine(self)
+            self._fast_engine_versions = versions
+        return self._fast_engine
+
+    def infer_batch(self, spikes: np.ndarray,
+                    trace: InferenceTrace | None = None,
+                    engine: str = "fast") -> np.ndarray:
+        """Run a ``(B, n_in)`` spike batch through every tile.
+
+        Returns output membrane readouts ``(B, n_classes)``.  With
+        ``engine="fast"`` the drain schedule is computed in closed form
+        (batched numpy); with ``engine="cycle"`` every image is stepped
+        clock-by-clock.  Both produce identical results, traces and
+        energy ledgers (asserted by the equivalence test suite).
+        """
+        _check_engine(engine)
+        if engine == "fast":
+            return self.fast_engine().infer_batch(spikes, trace)
+        batch = np.atleast_2d(np.asarray(spikes))
+        return np.stack([self.infer(row, trace) for row in batch])
+
+    def classify_batch(self, spikes: np.ndarray,
+                       trace: InferenceTrace | None = None,
+                       engine: str = "fast") -> np.ndarray:
+        """Predicted class per batch row."""
+        return np.argmax(self.infer_batch(spikes, trace, engine), axis=1)
+
+    def run_temporal(self, spike_trains: np.ndarray, engine: str = "fast"):
         """Multi-timestep operation with persistent membranes.
 
         ``spike_trains`` has shape ``(T, n_in)``.  Every timestep each
@@ -174,9 +238,13 @@ class EsamNetwork:
         readout.  Semantically identical to
         :class:`repro.snn.temporal.TemporalBinarySNN` (asserted by the
         test suite), but executed on the cycle-accurate hardware.
+        Both engines leave identical stats, ledgers and membrane state.
         """
         from repro.snn.temporal import TemporalResult
 
+        _check_engine(engine)
+        if engine == "fast":
+            return self.fast_engine().run_temporal(spike_trains)
         trains = np.atleast_2d(np.asarray(spike_trains)).astype(bool)
         if trains.shape[1] != self.tiles[0].n_in:
             raise ConfigurationError(

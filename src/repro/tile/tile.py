@@ -98,7 +98,6 @@ class Tile:
         # Neurons: one segment per column block (padded columns excluded).
         self.neurons: list[NeuronArray] = []
         for cb in range(self.mapping.col_blocks):
-            cols = self.mapping.cols_in_block(cb)
             cs = self.mapping.col_slice(cb)
             self.neurons.append(
                 NeuronArray(
@@ -112,6 +111,9 @@ class Tile:
         )
         self.arbiter_energy_pj = 0.0
         self.stats = TileInferenceStats()
+        # Bumped on every in-place weight mutation so cached weight
+        # snapshots (the fast engine) know to rebuild.
+        self.weight_version = 0
 
     # -- weight access (for online learning) --------------------------------------
 
@@ -133,6 +135,10 @@ class Tile:
             raise ConfigurationError(f"neuron {neuron} out of range")
         cb, local_col = divmod(neuron, ARRAY_DIM)
         return self.macros[row_block][cb], local_col
+
+    def note_weight_update(self) -> None:
+        """Record that macro weights were mutated in place (learning)."""
+        self.weight_version += 1
 
     # -- cycle-accurate inference ---------------------------------------------------
 

@@ -56,6 +56,28 @@ class TestAccuracyPipeline:
         )
         assert report.per_class_accuracy.shape == (10,)
 
+    def test_per_class_matches_explicit_loop(self, fast_model):
+        images = fast_model.dataset.test_images[:200]
+        labels = fast_model.dataset.test_labels[:200]
+        model = fast_model.snn.to_model()
+        report = evaluate_accuracy(model, images, labels)
+        predictions = model.classify(encode_images(images))
+        for c in range(10):
+            mask = labels == c
+            expected = (predictions[mask] == c).mean() if mask.any() else 0.0
+            assert report.per_class_accuracy[c] == pytest.approx(expected)
+
+    def test_out_of_range_labels_are_misses(self, fast_model):
+        """Stray labels count against accuracy without corrupting the
+        per-class vector shape."""
+        images = fast_model.dataset.test_images[:20]
+        labels = fast_model.dataset.test_labels[:20].copy()
+        labels[0] = 12
+        labels[1] = -3
+        report = evaluate_accuracy(fast_model.snn.to_model(), images, labels)
+        assert report.per_class_accuracy.shape == (10,)
+        assert report.total == 20
+
 
 class TestEvaluatorSweep:
     @pytest.fixture(scope="class")
