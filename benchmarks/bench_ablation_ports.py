@@ -9,6 +9,7 @@ import pytest
 
 from repro.sram.bitcell import CellType, hypothetical_cell_area_ratio
 from repro.sram.readport import ReadPortModel
+from repro.sweep import SweepRunner, ports_spec
 
 
 def sweep_ports():
@@ -51,3 +52,26 @@ def test_port_count_design_space(benchmark):
     ]
     assert steps[-1] == pytest.approx(0.875)
     assert steps[-1] > 2.0 * steps[0]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_port_count_system_sweep(benchmark, evaluator):
+    """End-to-end view of the same axis: the named ``ports`` sweep."""
+    spec = ports_spec(
+        sample_images=evaluator.config.sample_images,
+        quality=evaluator.quality,
+        seed=evaluator.config.seed,
+    )
+    runner = SweepRunner(spec, cache=None, evaluator=evaluator)
+    result = benchmark.pedantic(runner.run, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    by_ports = {
+        row.point.read_ports: row.to_figure8_row() for row in result.rows
+    }
+    # More ports drain spikes faster: throughput rises monotonically...
+    throughputs = [by_ports[p].throughput_minf_s for p in (1, 2, 3, 4)]
+    assert all(b > a for a, b in zip(throughputs, throughputs[1:]))
+    # ...and energy per inference falls monotonically.
+    energies = [by_ports[p].energy_per_inf_pj for p in (1, 2, 3, 4)]
+    assert all(b < a for a, b in zip(energies, energies[1:]))

@@ -2,21 +2,27 @@
 
 The paper selects Vprech = 500 mV from the circuit-level sweep
 (Figure 7).  This ablation re-runs the *system* at each precharge
-voltage to show the choice also wins end-to-end: 700 mV burns bitline
-energy, 400 mV stretches the cycle via extended precharge.
+voltage — as the named ``vprech`` sweep of the sweep engine — to show
+the choice also wins end-to-end: 700 mV burns bitline energy, 400 mV
+stretches the cycle via extended precharge.
 """
 
 import pytest
 
-from repro.sram.bitcell import CellType
-from repro.sram.readport import CLOCK_PERIOD_NS
+from repro.sweep import SweepRunner, vprech_spec
 
 
 def sweep(evaluator):
-    rows = {}
-    for vprech in (0.4, 0.5, 0.6, 0.7):
-        rows[vprech] = evaluator.evaluate_cell(CellType.C1RW4R, vprech=vprech)
-    return rows
+    spec = vprech_spec(
+        sample_images=evaluator.config.sample_images,
+        quality=evaluator.quality,
+        seed=evaluator.config.seed,
+    )
+    runner = SweepRunner(spec, cache=None, evaluator=evaluator)
+    return {
+        row.point.vprech: row.to_figure8_row()
+        for row in runner.run().rows
+    }
 
 
 @pytest.mark.benchmark(group="ablation")

@@ -1,5 +1,10 @@
 """Figure 8 — system-level power/performance/energy/area per cell.
 
+Runs as a named sweep through the sharded sweep engine
+(:mod:`repro.sweep`) rather than a hand-rolled loop, so the benchmark
+exercises the same code path as ``python -m repro.sweep figure8`` and
+``SystemEvaluator.figure8()``.
+
 Paper reference trends: 1RW power exceeds 1RW+1R and 1RW+2R (Vprech
 scaling); throughput dips slightly from 1RW to 1RW+1R then climbs with
 parallelism; energy/inference falls with every added port; the 1RW+4R
@@ -10,11 +15,20 @@ import pytest
 
 from repro.sram.bitcell import CellType
 from repro.system.report import render_figure8
+from repro.sweep import SweepRunner, figure8_spec
 
 
 @pytest.mark.benchmark(group="figure8")
 def test_fig8_system_comparison(benchmark, evaluator):
-    rows = benchmark.pedantic(evaluator.figure8, rounds=1, iterations=1)
+    spec = figure8_spec(
+        sample_images=evaluator.config.sample_images,
+        quality=evaluator.quality,
+        seed=evaluator.config.seed,
+    )
+    runner = SweepRunner(spec, cache=None, evaluator=evaluator)
+    result = benchmark.pedantic(runner.run, rounds=1, iterations=1)
+    assert result.stats.evaluated == len(spec)
+    rows = result.figure8_rows()
     print()
     print(render_figure8(rows))
     by_cell = {row.cell_type: row for row in rows}

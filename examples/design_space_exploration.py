@@ -8,13 +8,18 @@ Walks the three design axes the paper explores and prints each table:
    ending with the headline claims (3.1x speed, 2.2x energy
    efficiency, 44 MInf/s @ 607 pJ/Inf and 29 mW).
 
+The system-level sweep runs through the sharded sweep engine
+(``repro.sweep``) with the on-disk result cache enabled, so the second
+invocation of this script serves Figure 8 from cache instead of
+re-simulating.  The same sweep is available from the shell as
+``python -m repro.sweep figure8 --claims``.
+
 Run:  python examples/design_space_exploration.py
 """
 
 from repro.sram.electrical import TransposedPortModel
 from repro.sram.readport import ReadPortModel
-from repro.system.config import SystemConfig
-from repro.system.evaluate import SystemEvaluator
+from repro.sweep import SweepRunner, figure8_spec
 from repro.system.report import (
     render_figure6,
     render_figure7,
@@ -32,12 +37,14 @@ def main() -> None:
     print(render_table2(PipelineModel().table2()))
     print()
 
-    print("running the cycle-accurate system sweep (five cell options) ...")
-    evaluator = SystemEvaluator(SystemConfig(sample_images=16), quality="full")
-    rows = evaluator.figure8()
-    print(render_figure8(rows))
+    print("running the system sweep (five cell options, schedule-based "
+          "fast engine) ...")
+    result = SweepRunner(figure8_spec(sample_images=16)).run()
+    print(f"  {result.stats.evaluated} evaluated, "
+          f"{result.stats.cache_hits} served from cache")
+    print(render_figure8(result.figure8_rows()))
 
-    claims = evaluator.headline_claims(rows)
+    claims = result.headline_claims()
     print()
     print("headline claims (paper -> measured):")
     print(f"  speed vs single-port:  3.1x -> {claims.speedup_vs_1rw:.2f}x")

@@ -30,6 +30,10 @@ _PRESETS = {
     "fast": {"n_train": 1500, "n_test": 500, "epochs": 4},
 }
 
+#: Public names of the available quality presets (for early validation
+#: at API boundaries, e.g. sweep design points).
+QUALITY_PRESETS = tuple(_PRESETS)
+
 
 @dataclass(frozen=True)
 class ReferenceModel:

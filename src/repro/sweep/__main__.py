@@ -1,0 +1,136 @@
+"""CLI for named design-space sweeps: ``python -m repro.sweep``.
+
+Examples::
+
+    python -m repro.sweep --list
+    python -m repro.sweep figure8 --workers 4 --sample-images 32
+    python -m repro.sweep vprech --out vprech.json --csv vprech.csv
+    python -m repro.sweep figure8 --claims --no-cache
+
+Re-running a sweep with an unchanged model serves every point from the
+on-disk cache (``.artifacts/sweep_cache/`` by default) and finishes in
+milliseconds; ``--cache-dir`` relocates the cache, ``--no-cache``
+forces fresh evaluation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.learning.pretrained import QUALITY_PRESETS
+from repro.sweep.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.sweep.runner import SweepRunner
+from repro.sweep.spec import NAMED_SWEEPS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep",
+        description="Run a named ESAM design-space sweep.",
+    )
+    parser.add_argument(
+        "sweep", nargs="?", choices=sorted(NAMED_SWEEPS),
+        help="named sweep to run (see --list)",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list the named sweeps and exit",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for cache misses (default: 1)",
+    )
+    parser.add_argument(
+        "--sample-images", type=int, default=64, metavar="N",
+        help="images simulated hardware-accurately per point (default: 64)",
+    )
+    parser.add_argument(
+        "--quality", choices=QUALITY_PRESETS, default="full",
+        help="reference-model preset (default: full)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42,
+        help="model/sampling seed (default: 42)",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", help="write the result as JSON",
+    )
+    parser.add_argument(
+        "--csv", metavar="PATH", help="write the result as flat CSV",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="evaluate every point fresh, do not read or write the cache",
+    )
+    parser.add_argument(
+        "--claims", action="store_true",
+        help="also print the headline claims derived from the rows",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in sorted(NAMED_SWEEPS):
+            spec = NAMED_SWEEPS[name]()
+            print(f"{name:10s} {len(spec):3d} points  "
+                  f"({NAMED_SWEEPS[name].__doc__.splitlines()[0]})")
+        return 0
+    if args.sweep is None:
+        parser.error("a sweep name (or --list) is required")
+
+    spec = NAMED_SWEEPS[args.sweep](
+        sample_images=args.sample_images, quality=args.quality,
+        seed=args.seed,
+    )
+    if args.no_cache:
+        cache: ResultCache | None = None
+    else:
+        cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+
+    try:
+        runner = SweepRunner(spec, n_workers=args.workers, cache=cache)
+        result = runner.run()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    print(result.render())
+    if args.claims:
+        try:
+            claims = result.headline_claims()
+        except ReproError as error:
+            print(f"error: --claims needs figure-8 rows ({error})",
+                  file=sys.stderr)
+            return 1
+        print()
+        print("headline claims (paper -> measured):")
+        print(f"  speedup vs 1RW:      3.1x  -> {claims.speedup_vs_1rw:.2f}x")
+        print(f"  energy efficiency:   2.2x  -> "
+              f"{claims.energy_efficiency_vs_1rw:.2f}x")
+        print(f"  throughput:     44 MInf/s  -> "
+              f"{claims.throughput_minf_s:.1f} MInf/s")
+        print(f"  energy/inference: 607 pJ   -> "
+              f"{claims.energy_per_inf_pj:.0f} pJ")
+        print(f"  power:             29 mW   -> {claims.power_mw:.1f} mW")
+    if args.out:
+        print(f"wrote {result.to_json(args.out)}")
+    if args.csv:
+        print(f"wrote {result.to_csv(args.csv)}")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.exit(0)

@@ -1,0 +1,141 @@
+"""On-disk result cache for design-space sweeps.
+
+A cache entry is one evaluated :class:`~repro.sweep.spec.DesignPoint`,
+stored as a small JSON file under ``<root>/<key>.json``.  The key is a
+SHA-256 over
+
+* the cache schema version (bumped when the stored row format or the
+  evaluation semantics change),
+* the design point's canonical dict (cell, Vprech, sample size, engine,
+  quality, seed), and
+* a fingerprint of the evaluated network's weights, thresholds and
+  output bias.
+
+Keying on the weights fingerprint means the cache invalidates itself
+when the model changes (retraining, online learning, fault injection)
+without any manual versioning; keying on the point dict means any
+config change — sample size, Vprech, engine, seed — is a different
+entry.  Re-running an overlapping sweep therefore only evaluates the
+points that are genuinely new.
+
+JSON round-trips Python floats exactly (``repr`` shortest round-trip),
+so rows served from the cache are bit-identical to freshly evaluated
+ones.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+
+import numpy as np
+
+from repro.learning.convert import ConvertedSNN
+from repro.sweep.spec import DesignPoint
+
+#: Bump when the cached-row schema or evaluation semantics change.
+CACHE_VERSION = 1
+
+#: Default cache root, shared with the trained-model artifacts.
+DEFAULT_CACHE_DIR = (
+    pathlib.Path(__file__).resolve().parents[3] / ".artifacts" / "sweep_cache"
+)
+
+
+def weights_fingerprint(snn: ConvertedSNN) -> str:
+    """Stable SHA-256 fingerprint of a converted network's parameters.
+
+    Hashes dtype, shape and raw bytes of every weight matrix, threshold
+    vector and the output bias, so any single flipped weight bit yields
+    a different fingerprint (and thus a cache miss).
+    """
+    digest = hashlib.sha256()
+    arrays = list(snn.weights) + list(snn.thresholds) + [snn.output_bias]
+    for array in arrays:
+        array = np.ascontiguousarray(array)
+        digest.update(str(array.dtype).encode())
+        digest.update(str(array.shape).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def point_key(point: DesignPoint, fingerprint: str) -> str:
+    """Cache key of one design point under one network fingerprint."""
+    payload = json.dumps(
+        {
+            "version": CACHE_VERSION,
+            "point": point.to_dict(),
+            "weights": fingerprint,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultCache:
+    """Directory of evaluated design points, one JSON file per key."""
+
+    def __init__(self, root: pathlib.Path | str | None = None) -> None:
+        self.root = pathlib.Path(root) if root is not None else DEFAULT_CACHE_DIR
+
+    def path(self, key: str) -> pathlib.Path:
+        """File backing ``key`` (two-level fan-out keeps dirs small)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The stored row dict, or ``None`` on a miss or unreadable file."""
+        path = self.path(key)
+        if not path.exists():
+            return None
+        try:
+            with path.open() as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def put(self, key: str, row: dict) -> pathlib.Path:
+        """Persist one evaluated row; returns the written path.
+
+        Writes via a uniquely-named temporary sibling + atomic rename,
+        so a concurrent reader never observes a half-written entry and
+        concurrent writers of the same key (two cold sweeps racing)
+        don't clobber each other mid-write.
+        """
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f"{key[:8]}.", suffix=".tmp", dir=path.parent,
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(row, handle, indent=1)
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path(key).exists()
+
+    def __len__(self) -> int:
+        """Number of cached entries under the root."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns how many were removed."""
+        removed = 0
+        for path in list(self.root.glob("*/*.json")):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        return f"ResultCache({str(self.root)!r}, entries={len(self)})"

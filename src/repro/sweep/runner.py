@@ -1,0 +1,234 @@
+"""Sharded, cached execution of design-space sweeps.
+
+The :class:`SweepRunner` takes a :class:`~repro.sweep.spec.SweepSpec`,
+expands it into design points and satisfies each point from one of
+three sources, in order:
+
+1. **cache** — the on-disk :class:`~repro.sweep.cache.ResultCache`,
+   keyed by the point's canonical dict plus the network-weights
+   fingerprint.  Hits are loaded without touching the simulator;
+2. **injected evaluator** — an existing
+   :class:`~repro.system.evaluate.SystemEvaluator` (in-process only),
+   which is how ``SystemEvaluator.figure8()`` routes through the sweep
+   engine without changing behaviour;
+3. **worker shards** — ``concurrent.futures.ProcessPoolExecutor`` over
+   the cache misses when ``n_workers > 1``, or a plain in-process loop
+   otherwise.
+
+Because every :class:`DesignPoint` carries its own seed and the
+evaluation builds a fresh network per point, results are bit-identical
+regardless of worker count, shard assignment or execution order — the
+test suite asserts ``n_workers=4`` equals ``n_workers=1`` equals the
+historical serial ``figure8()`` loop, float for float.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.learning.convert import ConvertedSNN
+from repro.learning.pretrained import get_reference_model
+from repro.system.config import SystemConfig
+from repro.system.energy import SystemMetrics
+from repro.system.evaluate import SystemEvaluator
+from repro.sweep.cache import ResultCache, point_key, weights_fingerprint
+from repro.sweep.spec import DesignPoint, SweepSpec
+from repro.sweep.store import SweepResult, SweepRow, SweepStats
+
+#: Per-process memo of evaluators, keyed by ``(quality, seed,
+#: sample_images)``.  Points of one sweep share the trained model and
+#: the encoded spike sample; only the per-point network differs.  The
+#: memo lives at module level so worker processes reuse it across the
+#: points of their shard.
+_EVALUATOR_MEMO: dict[tuple[str, int, int], SystemEvaluator] = {}
+
+
+def evaluate_point(point: DesignPoint,
+                   snn: ConvertedSNN | None = None) -> SystemMetrics:
+    """Evaluate one design point from scratch (no cache involved).
+
+    With ``snn=None`` the reference model for ``point.quality`` /
+    ``point.seed`` is used (disk-cached training artifact); passing an
+    explicit network evaluates that network instead.  This is the
+    function worker processes run, and the single place sweep
+    evaluation semantics are defined.
+    """
+    if snn is not None:
+        config = SystemConfig(
+            cell_type=point.cell_type, vprech=point.vprech,
+            sample_images=point.sample_images, seed=point.seed,
+        )
+        evaluator = SystemEvaluator(config, snn=snn, quality=point.quality)
+    else:
+        memo_key = (point.quality, point.seed, point.sample_images)
+        evaluator = _EVALUATOR_MEMO.get(memo_key)
+        if evaluator is None:
+            config = SystemConfig(
+                cell_type=point.cell_type, vprech=point.vprech,
+                sample_images=point.sample_images, seed=point.seed,
+            )
+            evaluator = SystemEvaluator(config, quality=point.quality)
+            _EVALUATOR_MEMO[memo_key] = evaluator
+    row = evaluator.evaluate_cell(
+        point.cell_type, vprech=point.vprech, engine=point.engine,
+    )
+    return row.metrics
+
+
+@dataclass
+class _WorkItem:
+    """One cache miss: its position in the sweep, point and cache key."""
+
+    index: int
+    point: DesignPoint
+    key: str
+
+
+def _evaluate_task(payload: tuple[DesignPoint, ConvertedSNN | None],
+                   ) -> SystemMetrics:
+    """Module-level worker entry point (must be picklable)."""
+    point, snn = payload
+    return evaluate_point(point, snn)
+
+
+class SweepRunner:
+    """Shards a sweep's design points across workers, with caching.
+
+    Parameters
+    ----------
+    spec:
+        The grid to evaluate.
+    n_workers:
+        ``1`` (default) evaluates in-process; ``>1`` shards cache
+        misses across that many worker processes.
+    cache:
+        A :class:`ResultCache`, ``True`` for the default on-disk cache
+        under ``.artifacts/sweep_cache/``, or ``None``/``False`` to
+        disable caching entirely.
+    snn:
+        Optional explicit network; by default each point evaluates the
+        reference model of its ``quality``/``seed``.
+    evaluator:
+        Optional existing :class:`SystemEvaluator` to evaluate through
+        (in-process only; mutually exclusive with ``snn`` and
+        ``n_workers > 1``).  Used by ``SystemEvaluator.figure8()``.
+    """
+
+    def __init__(self, spec: SweepSpec, *, n_workers: int = 1,
+                 cache: ResultCache | bool | None = True,
+                 snn: ConvertedSNN | None = None,
+                 evaluator: SystemEvaluator | None = None) -> None:
+        if n_workers < 1:
+            raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+        if evaluator is not None and snn is not None:
+            raise ConfigurationError("pass either evaluator or snn, not both")
+        if evaluator is not None and n_workers > 1:
+            raise ConfigurationError(
+                "an injected evaluator cannot be sharded across processes; "
+                "use n_workers=1 or let the runner build its own evaluators"
+            )
+        if evaluator is not None:
+            # An injected evaluator brings its own spike sample (its
+            # config's sample size/seed), so every point must agree
+            # with it — otherwise rows (and cache entries) would claim
+            # a configuration they were not evaluated under.
+            have = (evaluator.config.sample_images, evaluator.config.seed,
+                    evaluator.quality)
+            for point in spec.expand():
+                want = (point.sample_images, point.seed, point.quality)
+                if want != have:
+                    raise ConfigurationError(
+                        f"sweep point {point.label} (sample_images/seed/"
+                        f"quality {want}) does not match the injected "
+                        f"evaluator's configuration {have}"
+                    )
+        self.spec = spec
+        self.n_workers = n_workers
+        if cache is True:
+            self.cache: ResultCache | None = ResultCache()
+        elif cache is False or cache is None:
+            self.cache = None
+        else:
+            self.cache = cache
+        self._snn = snn
+        self._evaluator = evaluator
+
+    # -- internals -------------------------------------------------------------------
+
+    def _fingerprints(self, points: list[DesignPoint]) -> dict[DesignPoint, str]:
+        """Weights fingerprint per point (shared per quality/seed model)."""
+        if self._evaluator is not None:
+            fp = weights_fingerprint(self._evaluator.snn)
+            return {p: fp for p in points}
+        if self._snn is not None:
+            fp = weights_fingerprint(self._snn)
+            return {p: fp for p in points}
+        per_model: dict[tuple[str, int], str] = {}
+        out: dict[DesignPoint, str] = {}
+        for point in points:
+            model_key = (point.quality, point.seed)
+            if model_key not in per_model:
+                reference = get_reference_model(point.quality, point.seed)
+                per_model[model_key] = weights_fingerprint(reference.snn)
+            out[point] = per_model[model_key]
+        return out
+
+    def _evaluate_misses(self, misses: list[_WorkItem]) -> list[SystemMetrics]:
+        """Evaluate cache misses, sharded or in-process, in input order."""
+        if not misses:
+            return []
+        if self._evaluator is not None:
+            return [
+                self._evaluator.evaluate_cell(
+                    item.point.cell_type, vprech=item.point.vprech,
+                    engine=item.point.engine,
+                ).metrics
+                for item in misses
+            ]
+        if self.n_workers == 1 or len(misses) == 1:
+            return [evaluate_point(item.point, self._snn) for item in misses]
+        # Pre-warm the trained-model caches in the parent: on fork-based
+        # platforms the workers inherit the in-memory model; elsewhere
+        # they hit the .npz disk cache instead of re-training.
+        if self._snn is None:
+            for model_key in {(i.point.quality, i.point.seed) for i in misses}:
+                get_reference_model(*model_key)
+        payloads = [(item.point, self._snn) for item in misses]
+        workers = min(self.n_workers, len(misses))
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_evaluate_task, payloads))
+
+    # -- API -------------------------------------------------------------------------
+
+    def run(self) -> SweepResult:
+        """Evaluate the grid; returns rows in the spec's expansion order."""
+        points = self.spec.expand()
+        stats = SweepStats()
+        rows: list[SweepRow | None] = [None] * len(points)
+        misses: list[_WorkItem] = []
+
+        if self.cache is not None:
+            fingerprints = self._fingerprints(points)
+            for index, point in enumerate(points):
+                key = point_key(point, fingerprints[point])
+                cached = self.cache.get(key)
+                if cached is not None:
+                    rows[index] = SweepRow.from_dict(cached, cached=True)
+                    stats.cache_hits += 1
+                else:
+                    misses.append(_WorkItem(index=index, point=point, key=key))
+        else:
+            misses = [
+                _WorkItem(index=i, point=p, key="") for i, p in enumerate(points)
+            ]
+
+        for item, metrics in zip(misses, self._evaluate_misses(misses)):
+            row = SweepRow(point=item.point, metrics=metrics, cached=False)
+            if self.cache is not None:
+                self.cache.put(item.key, row.to_dict())
+            rows[item.index] = row
+            stats.evaluated += 1
+
+        return SweepResult(spec_name=self.spec.name, rows=list(rows), stats=stats)

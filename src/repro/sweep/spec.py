@@ -1,0 +1,207 @@
+"""Design-space sweep specifications.
+
+The paper's evaluation is a *grid*, not a single design point: Figure 8
+walks the five SRAM cell options, Figure 7 sweeps the precharge voltage
+and the ablations vary port counts and sample sizes.  A
+:class:`SweepSpec` describes such a grid declaratively (cartesian
+product over the axes) and expands it into hashable
+:class:`DesignPoint` rows that the :class:`~repro.sweep.runner.SweepRunner`
+shards across worker processes and caches on disk.
+
+Every :class:`DesignPoint` is frozen, fully value-typed and carries its
+own seed, so a point evaluates to the same metrics no matter which
+worker, which shard order, or which session runs it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.learning.pretrained import QUALITY_PRESETS
+from repro.sram.bitcell import ALL_CELLS, CellType
+from repro.tile.network import validate_engine
+
+#: The Vprech grid of the system-level ablation (Figure 7's axis,
+#: restricted to the voltages the paper tabulates).
+VPRECH_GRID = (0.4, 0.5, 0.6, 0.7)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One fully-specified evaluation of the ESAM system.
+
+    Hashable and order-independent: two points with equal fields are
+    the same design point, which is what the on-disk result cache keys
+    on (together with the network-weights fingerprint).
+    """
+
+    cell_type: CellType
+    vprech: float = 0.500
+    sample_images: int = 64
+    engine: str = "fast"
+    quality: str = "full"
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        validate_engine(self.engine)
+        if not isinstance(self.cell_type, CellType):
+            raise ConfigurationError(
+                f"cell_type must be a CellType, got {self.cell_type!r}"
+            )
+        if not 0.0 < self.vprech <= 0.7:
+            raise ConfigurationError(f"vprech out of range: {self.vprech}")
+        if self.sample_images < 1:
+            raise ConfigurationError("sample_images must be >= 1")
+        if self.quality not in QUALITY_PRESETS:
+            raise ConfigurationError(
+                f"quality must be one of {QUALITY_PRESETS}, "
+                f"got {self.quality!r}"
+            )
+
+    @property
+    def read_ports(self) -> int:
+        """Row-wise inference ports of this point's cell."""
+        return self.cell_type.inference_ports
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable identity, e.g. ``1RW+4R@500mV``."""
+        return (
+            f"{self.cell_type.value}@{self.vprech * 1e3:.0f}mV"
+            f"/{self.sample_images}img/{self.engine}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (``cell_type`` by its paper name)."""
+        return {
+            "cell_type": self.cell_type.value,
+            "vprech": self.vprech,
+            "sample_images": self.sample_images,
+            "engine": self.engine,
+            "quality": self.quality,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DesignPoint":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            cell_type=CellType(data["cell_type"]),
+            vprech=float(data["vprech"]),
+            sample_images=int(data["sample_images"]),
+            engine=str(data["engine"]),
+            quality=str(data["quality"]),
+            seed=int(data["seed"]),
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Cartesian grid over the ESAM design axes.
+
+    Axes: SRAM cell option (or equivalently read-port count), read-port
+    precharge voltage, cycle-accurate sample size and simulation
+    engine.  ``expand()`` produces the grid in deterministic
+    lexicographic order (cells outermost), so sweep output files are
+    stable across runs and machines.
+    """
+
+    name: str
+    cell_types: tuple[CellType, ...] = ALL_CELLS
+    vprechs: tuple[float, ...] = (0.500,)
+    sample_images: tuple[int, ...] = (64,)
+    engines: tuple[str, ...] = ("fast",)
+    quality: str = "full"
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("sweep name must be non-empty")
+        for axis, values in (
+            ("cell_types", self.cell_types),
+            ("vprechs", self.vprechs),
+            ("sample_images", self.sample_images),
+            ("engines", self.engines),
+        ):
+            if not values:
+                raise ConfigurationError(f"sweep axis {axis} is empty")
+
+    @classmethod
+    def over_ports(cls, ports: Iterable[int], name: str = "ports",
+                   **kwargs) -> "SweepSpec":
+        """Grid over read-port counts, mapped to their cell options."""
+        cells = tuple(CellType.from_ports(p) for p in ports)
+        return cls(name=name, cell_types=cells, **kwargs)
+
+    def expand(self) -> list[DesignPoint]:
+        """All design points of the grid, in deterministic order."""
+        return [
+            DesignPoint(
+                cell_type=cell, vprech=vprech, sample_images=n,
+                engine=engine, quality=self.quality, seed=self.seed,
+            )
+            for cell, vprech, n, engine in itertools.product(
+                self.cell_types, self.vprechs, self.sample_images,
+                self.engines,
+            )
+        ]
+
+    def __len__(self) -> int:
+        return (len(self.cell_types) * len(self.vprechs)
+                * len(self.sample_images) * len(self.engines))
+
+
+# -- named sweeps -------------------------------------------------------------------
+
+
+def figure8_spec(sample_images: int = 64, quality: str = "full",
+                 seed: int = 42, vprech: float = 0.500,
+                 engine: str = "fast") -> SweepSpec:
+    """Figure 8's x-axis: the five SRAM cell options."""
+    return SweepSpec(
+        name="figure8", cell_types=ALL_CELLS, vprechs=(vprech,),
+        sample_images=(sample_images,), engines=(engine,),
+        quality=quality, seed=seed,
+    )
+
+
+def vprech_spec(sample_images: int = 64, quality: str = "full",
+                seed: int = 42,
+                vprechs: Sequence[float] = VPRECH_GRID) -> SweepSpec:
+    """System-level Vprech ablation on the selected 1RW+4R cell."""
+    return SweepSpec(
+        name="vprech", cell_types=(CellType.C1RW4R,),
+        vprechs=tuple(vprechs), sample_images=(sample_images,),
+        quality=quality, seed=seed,
+    )
+
+
+def ports_spec(sample_images: int = 64, quality: str = "full",
+               seed: int = 42) -> SweepSpec:
+    """Port-count design space (the multiport cells, 1 to 4 ports)."""
+    return SweepSpec.over_ports(
+        (1, 2, 3, 4), sample_images=(sample_images,),
+        quality=quality, seed=seed,
+    )
+
+
+def engines_spec(sample_images: int = 64, quality: str = "full",
+                 seed: int = 42) -> SweepSpec:
+    """Fast-vs-cycle audit grid on the selected design point."""
+    return SweepSpec(
+        name="engines", cell_types=(CellType.C1RW4R,),
+        sample_images=(sample_images,), engines=("fast", "cycle"),
+        quality=quality, seed=seed,
+    )
+
+
+#: Named sweeps runnable from the CLI (``python -m repro.sweep <name>``).
+NAMED_SWEEPS = {
+    "figure8": figure8_spec,
+    "vprech": vprech_spec,
+    "ports": ports_spec,
+    "engines": engines_spec,
+}

@@ -1,0 +1,193 @@
+"""Sweep result rows: serialization, rendering and re-derivation.
+
+A :class:`SweepRow` pairs one :class:`~repro.sweep.spec.DesignPoint`
+with the :class:`~repro.system.energy.SystemMetrics` it evaluated to.
+:class:`SweepResult` holds the rows of one sweep run plus its cache
+statistics, serializes to JSON (lossless, reloadable) and CSV (flat,
+plot-ready), and can re-render Figure 8 or recompute the paper's
+headline claims from cached rows alone — no re-simulation needed.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from dataclasses import asdict, dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.sram.bitcell import CellType
+from repro.system.energy import SystemMetrics
+from repro.system.evaluate import Figure8Row, HeadlineClaims, claims_from_rows
+from repro.system.report import render_table
+from repro.sweep.spec import DesignPoint
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One evaluated design point."""
+
+    point: DesignPoint
+    metrics: SystemMetrics
+    #: True when this row was served from the on-disk cache.
+    cached: bool = False
+
+    def to_dict(self) -> dict:
+        """Lossless JSON-ready representation."""
+        return {
+            "point": self.point.to_dict(),
+            "metrics": asdict(self.metrics),
+            "cached": self.cached,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, cached: bool | None = None) -> "SweepRow":
+        """Inverse of :meth:`to_dict` (optionally overriding ``cached``)."""
+        return cls(
+            point=DesignPoint.from_dict(data["point"]),
+            metrics=SystemMetrics(**data["metrics"]),
+            cached=data.get("cached", False) if cached is None else cached,
+        )
+
+    def to_figure8_row(self) -> Figure8Row:
+        """The classic Figure-8 view of this row."""
+        return Figure8Row(cell_type=self.point.cell_type, metrics=self.metrics)
+
+    def flat_dict(self) -> dict:
+        """Single-level dict for CSV export: point + metrics + derived."""
+        fig = self.to_figure8_row()
+        flat = dict(self.point.to_dict())
+        flat.update(asdict(self.metrics))
+        flat.pop("cell_type_label", None)  # duplicate of point cell_type
+        flat.update(
+            throughput_minf_s=fig.throughput_minf_s,
+            energy_per_inf_pj=fig.energy_per_inf_pj,
+            power_mw=fig.power_mw,
+            area_mm2=fig.area_mm2,
+            cached=self.cached,
+        )
+        return flat
+
+
+@dataclass
+class SweepStats:
+    """How a sweep run's points were satisfied."""
+
+    evaluated: int = 0
+    cache_hits: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.evaluated + self.cache_hits
+
+    def to_dict(self) -> dict:
+        return {"evaluated": self.evaluated, "cache_hits": self.cache_hits}
+
+
+@dataclass
+class SweepResult:
+    """Ordered rows of one sweep run, plus run statistics."""
+
+    spec_name: str
+    rows: list[SweepRow] = field(default_factory=list)
+    stats: SweepStats = field(default_factory=SweepStats)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    # -- views ---------------------------------------------------------------------
+
+    def figure8_rows(self) -> list[Figure8Row]:
+        """The rows in the shape ``SystemEvaluator.figure8()`` returns."""
+        return [row.to_figure8_row() for row in self.rows]
+
+    def by_cell(self) -> dict[CellType, SweepRow]:
+        """Last row per cell option (the Figure-8 lookup)."""
+        return {row.point.cell_type: row for row in self.rows}
+
+    def by_vprech(self) -> dict[float, SweepRow]:
+        """Last row per precharge voltage (the Vprech-ablation lookup)."""
+        return {row.point.vprech: row for row in self.rows}
+
+    def headline_claims(self, accuracy: float = float("nan")) -> HeadlineClaims:
+        """Recompute the abstract's claims from (possibly cached) rows.
+
+        ``accuracy`` is supplied separately because sweep rows hold only
+        hardware metrics; pass the functional-model test accuracy when
+        known.
+        """
+        return claims_from_rows(self.figure8_rows(), accuracy)
+
+    def render(self) -> str:
+        """Generic fixed-width table over every sweep axis and metric."""
+        table_rows = [
+            [
+                r.point.cell_type.value,
+                f"{r.point.vprech * 1e3:.0f}",
+                str(r.point.sample_images),
+                r.point.engine,
+                f"{f.throughput_minf_s:.1f}",
+                f"{f.energy_per_inf_pj:.0f}",
+                f"{f.power_mw:.1f}",
+                f"{f.area_mm2 * 1e3:.1f}",
+                "hit" if r.cached else "eval",
+            ]
+            for r in self.rows
+            for f in (r.to_figure8_row(),)
+        ]
+        return render_table(
+            ["cell", "Vprech [mV]", "images", "engine",
+             "throughput [MInf/s]", "energy [pJ/Inf]", "power [mW]",
+             "area [10^-3 mm^2]", "cache"],
+            table_rows,
+            title=f"sweep {self.spec_name!r} "
+                  f"({self.stats.evaluated} evaluated, "
+                  f"{self.stats.cache_hits} cache hits)",
+        )
+
+    # -- serialization --------------------------------------------------------------
+
+    def to_json(self, path) -> pathlib.Path:
+        """Write the full result (rows + stats) as one JSON document."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "spec_name": self.spec_name,
+            "stats": self.stats.to_dict(),
+            "rows": [row.to_dict() for row in self.rows],
+        }
+        with path.open("w") as handle:
+            json.dump(payload, handle, indent=1)
+        return path
+
+    @classmethod
+    def from_json(cls, path) -> "SweepResult":
+        """Reload a result written by :meth:`to_json`."""
+        path = pathlib.Path(path)
+        with path.open() as handle:
+            payload = json.load(handle)
+        stats = payload.get("stats", {})
+        return cls(
+            spec_name=payload["spec_name"],
+            rows=[SweepRow.from_dict(r) for r in payload["rows"]],
+            stats=SweepStats(
+                evaluated=int(stats.get("evaluated", 0)),
+                cache_hits=int(stats.get("cache_hits", 0)),
+            ),
+        )
+
+    def to_csv(self, path) -> pathlib.Path:
+        """Write one flat CSV row per design point."""
+        if not self.rows:
+            raise ConfigurationError("no sweep rows to export")
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        flats = [row.flat_dict() for row in self.rows]
+        with path.open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=list(flats[0]))
+            writer.writeheader()
+            writer.writerows(flats)
+        return path

@@ -17,11 +17,11 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.learning.convert import ConvertedSNN
 from repro.learning.pretrained import get_reference_model
-from repro.sram.bitcell import ALL_CELLS, CellType
+from repro.sram.bitcell import CellType
 from repro.snn.encode import encode_images
 from repro.system.config import SystemConfig
 from repro.system.energy import SystemEnergyModel, SystemMetrics
-from repro.tile.network import EsamNetwork, InferenceTrace
+from repro.tile.network import EsamNetwork, InferenceTrace, validate_engine
 
 
 @dataclass(frozen=True)
@@ -61,6 +61,34 @@ class HeadlineClaims:
     accuracy: float
 
 
+def claims_from_rows(rows: list[Figure8Row],
+                     accuracy: float = float("nan")) -> HeadlineClaims:
+    """Derive the abstract's claims from Figure-8 rows.
+
+    Pure arithmetic over already-evaluated rows, so cached sweep
+    results (:class:`repro.sweep.SweepResult`) can recompute the
+    claims without touching the simulator.  ``accuracy`` is carried
+    through verbatim — it comes from the functional model, not from
+    the hardware rows.
+    """
+    by_cell = {row.cell_type: row for row in rows}
+    if CellType.C6T not in by_cell or CellType.C1RW4R not in by_cell:
+        raise ConfigurationError("figure-8 rows must include 1RW and 1RW+4R")
+    base = by_cell[CellType.C6T]
+    best = by_cell[CellType.C1RW4R]
+    return HeadlineClaims(
+        speedup_vs_1rw=best.throughput_minf_s / base.throughput_minf_s,
+        energy_efficiency_vs_1rw=(
+            base.energy_per_inf_pj / best.energy_per_inf_pj
+        ),
+        throughput_minf_s=best.throughput_minf_s,
+        energy_per_inf_pj=best.energy_per_inf_pj,
+        power_mw=best.power_mw,
+        area_ratio_vs_1rw=best.area_mm2 / base.area_mm2,
+        accuracy=accuracy,
+    )
+
+
 class SystemEvaluator:
     """Runs the Figure-8 sweep over the five cell options."""
 
@@ -68,6 +96,7 @@ class SystemEvaluator:
                  snn: ConvertedSNN | None = None,
                  quality: str = "full") -> None:
         self.config = config or SystemConfig()
+        self.quality = quality
         if snn is None:
             reference = get_reference_model(quality, self.config.seed)
             self._snn = reference.snn
@@ -78,6 +107,11 @@ class SystemEvaluator:
             self._accuracy = float("nan")
             self._dataset = None
         self._spikes = self._sample_spikes()
+
+    @property
+    def snn(self) -> ConvertedSNN:
+        """The converted network under evaluation."""
+        return self._snn
 
     def _sample_spikes(self) -> np.ndarray:
         if self._dataset is not None:
@@ -110,6 +144,9 @@ class SystemEvaluator:
         traces and energies to ``engine="cycle"``, orders of magnitude
         faster for the sweep).
         """
+        # Fail on an unknown engine before building the network, not
+        # deep inside the inference call stack.
+        validate_engine(engine)
         network = self.build_network(cell_type, vprech)
         trace = InferenceTrace()
         network.infer_batch(self._spikes, trace, engine=engine)
@@ -119,25 +156,26 @@ class SystemEvaluator:
     # -- the full figure -----------------------------------------------------------
 
     def figure8(self) -> list[Figure8Row]:
-        """All five cell options (Figure 8's x-axis)."""
-        return [self.evaluate_cell(cell) for cell in ALL_CELLS]
+        """All five cell options (Figure 8's x-axis).
+
+        Routed through the sweep engine (:mod:`repro.sweep`) with this
+        evaluator injected, so the same code path serves the library
+        call, the benchmarks and the ``python -m repro.sweep`` CLI.
+        Caching and multi-process sharding are opt-in there; this
+        in-memory entry point stays side-effect free.
+        """
+        # Imported lazily: repro.sweep depends on this module.
+        from repro.sweep import SweepRunner, figure8_spec
+
+        spec = figure8_spec(
+            sample_images=self.config.sample_images,
+            quality=self.quality,
+            seed=self.config.seed,
+            vprech=self.config.vprech,
+        )
+        runner = SweepRunner(spec, cache=None, evaluator=self)
+        return runner.run().figure8_rows()
 
     def headline_claims(self, rows: list[Figure8Row] | None = None) -> HeadlineClaims:
         """The abstract's 3.1x / 2.2x / 44 MInf/s / 607 pJ / 29 mW set."""
-        rows = rows or self.figure8()
-        by_cell = {row.cell_type: row for row in rows}
-        if CellType.C6T not in by_cell or CellType.C1RW4R not in by_cell:
-            raise ConfigurationError("figure-8 rows must include 1RW and 1RW+4R")
-        base = by_cell[CellType.C6T]
-        best = by_cell[CellType.C1RW4R]
-        return HeadlineClaims(
-            speedup_vs_1rw=best.throughput_minf_s / base.throughput_minf_s,
-            energy_efficiency_vs_1rw=(
-                base.energy_per_inf_pj / best.energy_per_inf_pj
-            ),
-            throughput_minf_s=best.throughput_minf_s,
-            energy_per_inf_pj=best.energy_per_inf_pj,
-            power_mw=best.power_mw,
-            area_ratio_vs_1rw=best.area_mm2 / base.area_mm2,
-            accuracy=self._accuracy,
-        )
+        return claims_from_rows(rows or self.figure8(), self._accuracy)

@@ -44,14 +44,17 @@ class DrainSchedule:
 
     @property
     def batch(self) -> int:
+        """Number of images scheduled (``B``)."""
         return int(self.grants.shape[0])
 
     @property
     def total_grants(self) -> int:
+        """Grants summed over the whole batch (= total input spikes)."""
         return int(self.grants.sum())
 
     @property
     def total_cycles(self) -> int:
+        """Drain cycles summed over the whole batch."""
         return int(self.cycles.sum())
 
     def grants_per_block(self) -> np.ndarray:

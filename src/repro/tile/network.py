@@ -34,7 +34,13 @@ from repro.tile.tile import Tile
 ENGINES = ("fast", "cycle")
 
 
-def _check_engine(engine: str) -> None:
+def validate_engine(engine: str) -> None:
+    """Raise :class:`ConfigurationError` unless ``engine`` is known.
+
+    Call this at API boundaries (evaluators, sweep specs, CLIs) so a
+    typo like ``engine="fats"`` fails immediately with a clear message
+    instead of deep inside the inference call stack.
+    """
     if engine not in ENGINES:
         raise ConfigurationError(
             f"engine must be one of {ENGINES}, got {engine!r}"
@@ -217,7 +223,7 @@ class EsamNetwork:
         clock-by-clock.  Both produce identical results, traces and
         energy ledgers (asserted by the equivalence test suite).
         """
-        _check_engine(engine)
+        validate_engine(engine)
         if engine == "fast":
             return self.fast_engine().infer_batch(spikes, trace)
         batch = np.atleast_2d(np.asarray(spikes))
@@ -242,7 +248,7 @@ class EsamNetwork:
         """
         from repro.snn.temporal import TemporalResult
 
-        _check_engine(engine)
+        validate_engine(engine)
         if engine == "fast":
             return self.fast_engine().run_temporal(spike_trains)
         trains = np.atleast_2d(np.asarray(spike_trains)).astype(bool)

@@ -1,0 +1,57 @@
+"""Documentation cannot rot: execute every python block in the docs.
+
+Extracts the fenced ```python code blocks from README.md and
+``docs/*.md`` and executes them top to bottom.  Blocks within one file
+share a namespace, so a guide can build state progressively the way a
+reader would type it.  A snippet that raises fails this suite — which
+means any API drift breaks CI instead of silently stranding the docs.
+
+Conventions for doc authors:
+
+* fence runnable snippets as ```python — they must be self-contained
+  per *file* (earlier blocks in the same file are visible);
+* fence non-python or non-runnable material as ```text, ```bash, etc.;
+* keep snippets fast: quality="fast" models and small sample sizes.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+#: Every documentation file whose python blocks must execute.
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md"] + list((REPO_ROOT / "docs").glob("*.md")),
+    key=lambda p: p.name,
+)
+
+_PYTHON_BLOCK = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def extract_python_blocks(path: pathlib.Path) -> list[str]:
+    """The fenced ```python blocks of one markdown file, in order."""
+    return [m.group(1) for m in _PYTHON_BLOCK.finditer(path.read_text())]
+
+
+def test_documentation_suite_exists():
+    assert (REPO_ROOT / "docs" / "architecture.md").exists()
+    assert (REPO_ROOT / "docs" / "sweep.md").exists()
+    assert len(DOC_FILES) >= 3
+
+
+@pytest.mark.parametrize(
+    "doc", DOC_FILES, ids=[p.name for p in DOC_FILES],
+)
+def test_doc_python_blocks_execute(doc, tmp_path, monkeypatch):
+    blocks = extract_python_blocks(doc)
+    assert blocks, f"{doc.name} has no runnable ```python blocks"
+    # Snippets that write files do so relative to a scratch directory.
+    monkeypatch.chdir(tmp_path)
+    namespace: dict = {"__name__": f"docs_{doc.stem}"}
+    for index, block in enumerate(blocks):
+        code = compile(block, f"{doc.name}[block {index}]", "exec")
+        exec(code, namespace)  # noqa: S102 - executing our own docs

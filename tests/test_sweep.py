@@ -1,0 +1,310 @@
+"""Sweep engine: spec expansion, sharding parity, caching, CLI.
+
+The heart of this suite is the determinism contract: a sweep must
+produce bit-identical rows whether it runs in-process, across four
+worker processes, or straight out of the on-disk cache — and the cache
+must invalidate when the weights or any point parameter changes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.learning.convert import ConvertedSNN
+from repro.sram.bitcell import ALL_CELLS, CellType
+from repro.sweep import (
+    NAMED_SWEEPS,
+    DesignPoint,
+    ResultCache,
+    SweepResult,
+    SweepRunner,
+    SweepSpec,
+    figure8_spec,
+    point_key,
+    vprech_spec,
+    weights_fingerprint,
+)
+from repro.sweep.__main__ import main as sweep_main
+from repro.system.config import SystemConfig
+from repro.system.evaluate import SystemEvaluator
+
+QUALITY = "fast"
+SAMPLE = 8
+
+
+def small_spec(name="small", cells=(CellType.C6T, CellType.C1RW4R),
+               sample_images=SAMPLE) -> SweepSpec:
+    return SweepSpec(
+        name=name, cell_types=cells, sample_images=(sample_images,),
+        quality=QUALITY,
+    )
+
+
+class TestSpec:
+    def test_expand_is_cartesian_and_ordered(self):
+        spec = SweepSpec(
+            name="grid", cell_types=(CellType.C6T, CellType.C1RW4R),
+            vprechs=(0.4, 0.5), engines=("fast",), sample_images=(4,),
+            quality=QUALITY,
+        )
+        points = spec.expand()
+        assert len(points) == len(spec) == 4
+        # Deterministic lexicographic order, cells outermost.
+        assert [(p.cell_type, p.vprech) for p in points] == [
+            (CellType.C6T, 0.4), (CellType.C6T, 0.5),
+            (CellType.C1RW4R, 0.4), (CellType.C1RW4R, 0.5),
+        ]
+        # Expanding twice yields equal (hashable) points.
+        assert points == spec.expand()
+        assert len(set(points)) == 4
+
+    def test_over_ports_maps_to_cells(self):
+        spec = SweepSpec.over_ports((1, 4), quality=QUALITY)
+        assert spec.cell_types == (CellType.C1RW1R, CellType.C1RW4R)
+
+    def test_point_validation_is_early(self):
+        with pytest.raises(ConfigurationError, match="engine"):
+            DesignPoint(cell_type=CellType.C6T, engine="warp")
+        with pytest.raises(ConfigurationError, match="vprech"):
+            DesignPoint(cell_type=CellType.C6T, vprech=0.9)
+        with pytest.raises(ConfigurationError, match="sample_images"):
+            DesignPoint(cell_type=CellType.C6T, sample_images=0)
+        with pytest.raises(ConfigurationError, match="quality"):
+            DesignPoint(cell_type=CellType.C6T, quality="best")
+        with pytest.raises(ConfigurationError, match="cell_type"):
+            DesignPoint(cell_type="1RW+4R")
+
+    def test_point_dict_roundtrip(self):
+        point = DesignPoint(cell_type=CellType.C1RW2R, vprech=0.6,
+                            sample_images=4, quality=QUALITY, seed=7)
+        assert DesignPoint.from_dict(point.to_dict()) == point
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError, match="axis"):
+            SweepSpec(name="bad", cell_types=())
+
+    def test_named_sweeps_registry(self):
+        assert set(NAMED_SWEEPS) == {"figure8", "vprech", "ports", "engines"}
+        for factory in NAMED_SWEEPS.values():
+            spec = factory(sample_images=4, quality=QUALITY)
+            assert len(spec.expand()) == len(spec) > 0
+
+
+class TestShardingParity:
+    def test_serial_and_sharded_runs_are_bit_identical(self, tmp_path):
+        spec = small_spec()
+        serial = SweepRunner(spec, n_workers=1,
+                             cache=ResultCache(tmp_path / "a")).run()
+        sharded = SweepRunner(spec, n_workers=4,
+                              cache=ResultCache(tmp_path / "b")).run()
+        assert serial.stats.evaluated == sharded.stats.evaluated == len(spec)
+        for a, b in zip(serial.rows, sharded.rows):
+            assert a.point == b.point
+            assert a.metrics == b.metrics  # exact float equality
+
+    def test_sharded_figure8_matches_evaluator_bit_identically(self, tmp_path):
+        """Acceptance: n_workers=4 reproduces SystemEvaluator.figure8()."""
+        evaluator = SystemEvaluator(
+            SystemConfig(sample_images=SAMPLE), quality=QUALITY,
+        )
+        expected = evaluator.figure8()
+        result = SweepRunner(
+            figure8_spec(sample_images=SAMPLE, quality=QUALITY),
+            n_workers=4, cache=ResultCache(tmp_path),
+        ).run()
+        assert [r.point.cell_type for r in result.rows] == list(ALL_CELLS)
+        for got, want in zip(result.figure8_rows(), expected):
+            assert got.cell_type == want.cell_type
+            assert got.metrics == want.metrics  # bit-identical
+
+    def test_injected_evaluator_requires_single_worker(self):
+        evaluator = SystemEvaluator(
+            SystemConfig(sample_images=SAMPLE), quality=QUALITY,
+        )
+        with pytest.raises(ConfigurationError, match="sharded"):
+            SweepRunner(small_spec(), n_workers=2, evaluator=evaluator)
+
+    def test_injected_evaluator_must_match_spec(self):
+        """A mismatched evaluator would cache rows under the wrong config."""
+        evaluator = SystemEvaluator(
+            SystemConfig(sample_images=4), quality=QUALITY,
+        )
+        with pytest.raises(ConfigurationError, match="does not match"):
+            SweepRunner(small_spec(sample_images=8), evaluator=evaluator)
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ConfigurationError, match="n_workers"):
+            SweepRunner(small_spec(), n_workers=0)
+
+
+class TestCache:
+    def test_warm_cache_skips_every_evaluation(self, tmp_path):
+        """Acceptance: warm figure-8 re-run does zero network evaluations."""
+        spec = figure8_spec(sample_images=SAMPLE, quality=QUALITY)
+        cache = ResultCache(tmp_path)
+        cold = SweepRunner(spec, cache=cache).run()
+        assert cold.stats.evaluated == len(spec)
+        assert cold.stats.cache_hits == 0
+        warm = SweepRunner(spec, cache=ResultCache(tmp_path)).run()
+        assert warm.stats.evaluated == 0
+        assert warm.stats.cache_hits == len(spec)
+        for a, b in zip(cold.rows, warm.rows):
+            assert a.metrics == b.metrics  # cache round-trip is lossless
+            assert not a.cached and b.cached
+
+    def test_overlapping_sweep_reuses_shared_points(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        SweepRunner(vprech_spec(sample_images=SAMPLE, quality=QUALITY),
+                    cache=cache).run()
+        fig8 = SweepRunner(figure8_spec(sample_images=SAMPLE, quality=QUALITY),
+                           cache=cache).run()
+        # The 1RW+4R@500mV point is shared between the two grids.
+        assert fig8.stats.cache_hits == 1
+        assert fig8.stats.evaluated == 4
+
+    def test_cache_invalidates_when_weights_change(self, tmp_path, fast_model):
+        cache = ResultCache(tmp_path)
+        spec = small_spec(cells=(CellType.C1RW4R,))
+        snn_a = fast_model.snn
+        run_a = SweepRunner(spec, cache=cache, snn=snn_a).run()
+        assert run_a.stats.evaluated == 1
+
+        # Flip one weight bit: a different network must be a cache miss.
+        weights = [w.copy() for w in snn_a.weights]
+        weights[0][0, 0] ^= 1
+        snn_b = ConvertedSNN(weights=weights, thresholds=snn_a.thresholds,
+                             output_bias=snn_a.output_bias)
+        assert weights_fingerprint(snn_a) != weights_fingerprint(snn_b)
+        run_b = SweepRunner(spec, cache=cache, snn=snn_b).run()
+        assert run_b.stats.evaluated == 1
+        assert run_b.stats.cache_hits == 0
+        # And the original still hits.
+        run_a2 = SweepRunner(spec, cache=cache, snn=snn_a).run()
+        assert run_a2.stats.cache_hits == 1
+
+    def test_cache_invalidates_when_config_changes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec_8 = small_spec(cells=(CellType.C6T,), sample_images=8)
+        spec_4 = small_spec(cells=(CellType.C6T,), sample_images=4)
+        SweepRunner(spec_8, cache=cache).run()
+        changed = SweepRunner(spec_4, cache=cache).run()
+        assert changed.stats.evaluated == 1
+        assert changed.stats.cache_hits == 0
+
+    def test_point_key_depends_on_every_field(self, fast_model):
+        fp = weights_fingerprint(fast_model.snn)
+        base = DesignPoint(cell_type=CellType.C6T, quality=QUALITY)
+        keys = {point_key(base, fp)}
+        for variant in (
+            dataclasses.replace(base, cell_type=CellType.C1RW4R),
+            dataclasses.replace(base, vprech=0.6),
+            dataclasses.replace(base, sample_images=16),
+            dataclasses.replace(base, engine="cycle"),
+            dataclasses.replace(base, seed=7),
+        ):
+            keys.add(point_key(variant, fp))
+        keys.add(point_key(base, "0" * 64))
+        assert len(keys) == 7
+
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = small_spec(cells=(CellType.C6T,))
+        first = SweepRunner(spec, cache=cache).run()
+        assert first.stats.evaluated == 1
+        for path in tmp_path.glob("*/*.json"):
+            path.write_text("{not json")
+        again = SweepRunner(spec, cache=cache).run()
+        assert again.stats.evaluated == 1  # corrupt entry re-evaluated
+
+    def test_cache_len_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        SweepRunner(small_spec(), cache=cache).run()
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestStore:
+    def test_json_roundtrip_is_lossless(self, tmp_path):
+        result = SweepRunner(small_spec(), cache=None).run()
+        loaded = SweepResult.from_json(result.to_json(tmp_path / "r.json"))
+        assert loaded.spec_name == result.spec_name
+        assert loaded.stats.evaluated == result.stats.evaluated
+        for a, b in zip(loaded.rows, result.rows):
+            assert a.point == b.point
+            assert a.metrics == b.metrics
+
+    def test_csv_export(self, tmp_path):
+        result = SweepRunner(small_spec(), cache=None).run()
+        path = result.to_csv(tmp_path / "r.csv")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1 + len(result.rows)
+        header = lines[0].split(",")
+        for column in ("cell_type", "vprech", "engine",
+                       "throughput_minf_s", "energy_per_inf_pj"):
+            assert column in header
+
+    def test_empty_csv_export_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="rows"):
+            SweepResult(spec_name="empty").to_csv(tmp_path / "r.csv")
+
+    def test_claims_recomputed_from_cached_rows(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = figure8_spec(sample_images=SAMPLE, quality=QUALITY)
+        SweepRunner(spec, cache=cache).run()
+        warm = SweepRunner(spec, cache=cache).run()
+        assert warm.stats.evaluated == 0
+        claims = warm.headline_claims()
+        assert claims.speedup_vs_1rw > 1.0
+        assert claims.energy_efficiency_vs_1rw > 1.0
+        assert np.isnan(claims.accuracy)
+
+    def test_render_mentions_cache_state(self):
+        result = SweepRunner(small_spec(), cache=None).run()
+        text = result.render()
+        assert "small" in text and "eval" in text
+
+
+class TestEarlyEngineValidation:
+    def test_evaluate_cell_rejects_unknown_engine_before_simulation(
+            self, fast_model):
+        evaluator = SystemEvaluator(
+            SystemConfig(sample_images=2), snn=fast_model.snn,
+        )
+        with pytest.raises(ConfigurationError, match="engine"):
+            evaluator.evaluate_cell(CellType.C6T, engine="fats")
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert sweep_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in NAMED_SWEEPS:
+            assert name in out
+
+    def test_named_run_with_outputs(self, tmp_path, capsys):
+        code = sweep_main([
+            "vprech", "--sample-images", "4", "--quality", QUALITY,
+            "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(tmp_path / "v.json"),
+            "--csv", str(tmp_path / "v.csv"),
+        ])
+        assert code == 0
+        assert (tmp_path / "v.json").exists()
+        assert (tmp_path / "v.csv").exists()
+        out = capsys.readouterr().out
+        assert "sweep 'vprech'" in out
+        loaded = SweepResult.from_json(tmp_path / "v.json")
+        assert len(loaded.rows) == 4
+
+    def test_claims_on_non_figure8_sweep_fails_cleanly(self, tmp_path, capsys):
+        code = sweep_main([
+            "vprech", "--sample-images", "4", "--quality", QUALITY,
+            "--cache-dir", str(tmp_path), "--claims",
+        ])
+        assert code == 1
+        assert "figure-8" in capsys.readouterr().err
