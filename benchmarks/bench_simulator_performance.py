@@ -16,6 +16,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.envinfo import environment_info
 from repro.snn.encode import encode_images
 from repro.sram.bitcell import CellType
 from repro.tile.network import InferenceTrace
@@ -110,6 +111,7 @@ def test_engine_speedup_and_equivalence(evaluator, reference_model):
         },
         "speedup": round(speedup, 1),
         "bit_identical_traces": True,
+        "environment": environment_info(),
     }
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
     print(

@@ -1,3 +1,20 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-esam",
+    version="0.1.0",
+    description=(
+        "Reproduction of ESAM (DAC 2024): multiport SRAM CIM SNN "
+        "accelerator with design-space sweeps and inference serving"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro-sweep=repro.sweep.__main__:main",
+            "repro-serve=repro.serve.__main__:main",
+        ],
+    },
+)

@@ -23,6 +23,10 @@ Public API overview
 ``repro.system``
     System-level metrics (Figure 8), SOTA comparison (Table 3) and
     report rendering.
+``repro.sweep`` / ``repro.serve``
+    Design-space sweep engine (sharded, cached grids) and the
+    micro-batching inference-serving subsystem (bounded-queue
+    backpressure, model registry, latency SLO metrics).
 ``repro.data`` / ``repro.snn``
     Synthetic MNIST-like digits, input encoding and the functional
     binary-SNN reference.
@@ -30,6 +34,7 @@ Public API overview
 
 from repro.core.esam import EsamSystem
 from repro.core.results import ClassificationResult, HardwareReport
+from repro.errors import QueueFullError, ServingError
 from repro.sram.bitcell import CellType
 
 __version__ = "0.1.0"
@@ -39,5 +44,7 @@ __all__ = [
     "ClassificationResult",
     "HardwareReport",
     "CellType",
+    "QueueFullError",
+    "ServingError",
     "__version__",
 ]

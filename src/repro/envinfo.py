@@ -1,0 +1,28 @@
+"""Environment stamp for benchmark artifacts.
+
+``BENCH_simulator.json`` and ``BENCH_serving.json`` track performance
+across PRs, but absolute numbers only compare meaningfully when the
+runs' interpreter/numpy/host are known.  Every benchmark JSON therefore
+embeds :func:`environment_info` so the trajectory files are
+self-describing.
+"""
+
+from __future__ import annotations
+
+import datetime
+import platform
+
+import numpy as np
+
+
+def environment_info() -> dict:
+    """Interpreter, numpy and platform versions plus a UTC timestamp."""
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "timestamp_utc": datetime.datetime.now(
+            datetime.timezone.utc
+        ).isoformat(timespec="seconds"),
+    }

@@ -28,3 +28,27 @@ class SimulationError(ReproError):
 
 class TrainingError(ReproError):
     """Offline BNN training could not proceed (bad shapes, no data, ...)."""
+
+
+class ServingError(ReproError):
+    """The inference-serving layer could not satisfy a request.
+
+    Raised for serving-level faults that are not configuration mistakes:
+    submitting to a stopped server, targeting a model name the registry
+    does not hold, or a request abandoned because the server shut down
+    without draining.  Configuration problems (bad batch policy, invalid
+    spike shapes) still raise :class:`ConfigurationError`.
+    """
+
+
+class QueueFullError(ServingError):
+    """The server's bounded request queue rejected a submission.
+
+    This is the explicit backpressure signal (paper north star: serve
+    heavy traffic without unbounded buffering).  The server admits at
+    most ``max_queue_depth`` in-flight requests; once that many are
+    submitted but not yet resolved, further submissions fail fast with
+    this error instead of growing the queue without bound.  Callers are
+    expected to retry after a short delay or shed load — a rejected
+    request is never partially enqueued.
+    """

@@ -1,0 +1,30 @@
+"""Inference serving: micro-batching, backpressure, model registry.
+
+The serving subsystem turns the batched fast engine into a
+traffic-serving system (ROADMAP north star): an
+:class:`~repro.serve.server.InferenceServer` admits single-image
+requests into a bounded queue, a per-model
+:class:`~repro.serve.batcher.MicroBatcher` coalesces them into
+``EsamNetwork.infer_batch`` calls under a size/deadline policy, a
+:class:`~repro.serve.registry.ModelRegistry` maps model names to
+networks built from sweep design points (hot-swappable), and
+:class:`~repro.serve.metrics.ServingMetrics` records the latency
+SLO percentiles.  ``python -m repro.serve`` runs a closed-loop load
+generator against the stack.  See ``docs/serving.md``.
+"""
+
+from repro.serve.batcher import BatchPolicy, MicroBatcher
+from repro.serve.metrics import ServingMetrics, latency_percentiles
+from repro.serve.registry import ModelRegistry, RegisteredModel, build_network
+from repro.serve.server import InferenceServer
+
+__all__ = [
+    "BatchPolicy",
+    "InferenceServer",
+    "MicroBatcher",
+    "ModelRegistry",
+    "RegisteredModel",
+    "ServingMetrics",
+    "build_network",
+    "latency_percentiles",
+]

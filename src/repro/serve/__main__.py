@@ -1,0 +1,239 @@
+"""Closed-loop load generator CLI: ``python -m repro.serve``.
+
+Examples::
+
+    python -m repro.serve --rate 2000 --duration 2
+    python -m repro.serve --rate 500 --duration 1 --clients 4 --adaptive
+    python -m repro.serve --cell 1RW+2R --max-batch 32 --json serving.json
+
+Spins up an :class:`~repro.serve.server.InferenceServer` over the
+reference model at the chosen design point, then drives it with
+``--clients`` closed-loop clients (each waits for its previous
+response before sending the next request) paced to an aggregate
+``--rate``.  The request trace — which test image each request carries
+— is drawn from a seeded generator, so the run is reproducible and the
+served predictions can be verified bit-identical against the offline
+``classify_batch`` of the same trace, which this CLI does by default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+
+import numpy as np
+
+from repro.envinfo import environment_info
+from repro.errors import QueueFullError, ReproError
+from repro.learning.pretrained import QUALITY_PRESETS, get_reference_model
+from repro.serve.batcher import BatchPolicy
+from repro.serve.registry import ModelRegistry
+from repro.serve.server import InferenceServer
+from repro.snn.encode import encode_images
+from repro.sram.bitcell import ALL_CELLS, CellType
+from repro.sweep.spec import DesignPoint
+from repro.tile.network import ENGINES
+
+#: Model name the load generator registers and targets.
+MODEL_NAME = "esam"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Closed-loop load test of the micro-batching "
+                    "inference server.",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=1000.0, metavar="R",
+        help="aggregate request arrival rate, requests/s (default: 1000)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=1.0, metavar="S",
+        help="trace length in seconds; rate*duration requests (default: 1)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=8, metavar="N",
+        help="closed-loop client threads (default: 8)",
+    )
+    parser.add_argument(
+        "--cell", choices=[c.value for c in ALL_CELLS], default="1RW+4R",
+        help="SRAM cell option to serve (default: 1RW+4R)",
+    )
+    parser.add_argument(
+        "--vprech", type=float, default=0.500,
+        help="read-port precharge voltage (default: 0.5)",
+    )
+    parser.add_argument(
+        "--quality", choices=QUALITY_PRESETS, default="fast",
+        help="reference-model preset (default: fast)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42,
+        help="model + arrival-trace seed (default: 42)",
+    )
+    parser.add_argument(
+        "--engine", choices=ENGINES, default="fast",
+        help="simulation engine for every batch (default: fast)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=64, metavar="N",
+        help="micro-batch size cap (default: 64)",
+    )
+    parser.add_argument(
+        "--max-wait-ms", type=float, default=2.0, metavar="MS",
+        help="coalescing deadline per request (default: 2.0)",
+    )
+    parser.add_argument(
+        "--adaptive", action="store_true",
+        help="let the batch target float with observed backlog",
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=512, metavar="N",
+        help="in-flight bound before backpressure (default: 512)",
+    )
+    parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the offline classify_batch equivalence check",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write the run report as JSON",
+    )
+    return parser
+
+
+def _run_clients(server: InferenceServer, spikes: np.ndarray,
+                 predictions: np.ndarray, rate: float, clients: int) -> None:
+    """Drive the seeded trace through closed-loop client threads.
+
+    Request ``i`` targets wall-clock ``start + i/rate``; each client
+    owns the requests ``i % clients == k``, waits for every response
+    before its next send (closed loop), and retries on backpressure so
+    no trace row is lost.  A client failure (timeout, serving error)
+    is re-raised here after all threads join — a partially-sent trace
+    must never look like a successful run.
+    """
+    start = time.monotonic()
+    retry_s = max(server.policy.max_wait_ms / 1e3, 1e-3)
+    errors: list[Exception] = []
+
+    def client(k: int) -> None:
+        try:
+            for i in range(k, len(spikes), clients):
+                delay = start + i / rate - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                while True:
+                    try:
+                        future = server.submit(MODEL_NAME, spikes[i])
+                        break
+                    except QueueFullError:
+                        time.sleep(retry_s)
+                predictions[i] = future.result(timeout=60.0)
+        except Exception as error:  # noqa: BLE001 - re-raised below
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=client, args=(k,), name=f"client{k}")
+        for k in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    n_requests = int(args.rate * args.duration)
+    if n_requests < 1:
+        parser.error("rate * duration must be >= 1 request")
+    if args.clients < 1:
+        parser.error("--clients must be >= 1")
+
+    try:
+        point = DesignPoint(
+            cell_type=CellType(args.cell), vprech=args.vprech,
+            engine=args.engine, quality=args.quality, seed=args.seed,
+        )
+        reference = get_reference_model(args.quality, args.seed)
+        registry = ModelRegistry()
+        registry.register(MODEL_NAME, point, snn=reference.snn)
+        policy = BatchPolicy(
+            max_batch_size=args.max_batch, max_wait_ms=args.max_wait_ms,
+            adaptive=args.adaptive,
+        )
+        server = InferenceServer(
+            registry, policy=policy, max_queue_depth=args.queue_depth,
+            engine=args.engine,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    pool = encode_images(reference.dataset.test_images)
+    rng = np.random.default_rng(args.seed)
+    indices = rng.integers(0, pool.shape[0], size=n_requests)
+    spikes = pool[indices]
+    served = np.full(n_requests, -1, dtype=np.int64)
+
+    print(
+        f"serving {n_requests} requests at {args.rate:g}/s with "
+        f"{args.clients} closed-loop clients "
+        f"(model {point.label}, max_batch {args.max_batch}, "
+        f"max_wait {args.max_wait_ms} ms"
+        f"{', adaptive' if args.adaptive else ''})"
+    )
+    try:
+        with server:
+            _run_clients(server, spikes, served, args.rate, args.clients)
+    except Exception as error:  # noqa: BLE001 - CLI boundary
+        print(f"error: load generation failed: {error!r}", file=sys.stderr)
+        return 1
+    print(server.metrics.summary())
+
+    verified = None
+    if not args.no_verify:
+        offline = registry.get(MODEL_NAME).classify_batch(
+            spikes, engine=args.engine
+        )
+        verified = bool(np.array_equal(served, offline))
+        print(f"offline classify_batch equivalence: "
+              f"{'OK (bit-identical)' if verified else 'MISMATCH'}")
+
+    if args.json:
+        report = {
+            "requests": n_requests,
+            "rate": args.rate,
+            "clients": args.clients,
+            "model": point.label,
+            "policy": {
+                "max_batch_size": args.max_batch,
+                "max_wait_ms": args.max_wait_ms,
+                "adaptive": args.adaptive,
+            },
+            "metrics": server.metrics.to_dict(),
+            "verified_vs_offline": verified,
+            "environment": environment_info(),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+
+    if verified is False or server.metrics.failed:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.exit(0)

@@ -1,0 +1,179 @@
+"""Serving metrics: latency percentiles, histograms, achieved rate.
+
+The serving layer's contract is a latency SLO, so its primary output is
+a distribution, not an average: per-request latency samples roll up
+into p50/p95/p99, and the batcher's behaviour is visible through exact
+batch-size and queue-depth histograms.  A :class:`ServingMetrics`
+instance is thread-safe (clients submit and the dispatch thread
+completes concurrently) and exports everything as a plain dict so the
+CLI and ``BENCH_serving.json`` can serialize it directly.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import Counter
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: The latency percentiles the serving SLO is stated over.
+SLO_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def latency_percentiles(samples_ms, percentiles=SLO_PERCENTILES) -> dict:
+    """Percentiles of a latency trace, in milliseconds.
+
+    Linear interpolation between order statistics (numpy's default), so
+    ``p50`` of ``[10, 20, ..., 100]`` is 55.0 — the test suite pins
+    this against hand-computed traces.
+    """
+    samples = np.asarray(list(samples_ms), dtype=np.float64)
+    if samples.size == 0:
+        raise ConfigurationError("no latency samples to summarize")
+    values = np.percentile(samples, percentiles)
+    return {
+        f"p{pct:g}_ms": float(value)
+        for pct, value in zip(percentiles, values)
+    }
+
+
+class ServingMetrics:
+    """Thread-safe collector for one serving run.
+
+    Records four counters (submitted / completed / failed / rejected),
+    per-request latencies, and exact histograms of flushed batch sizes
+    and queue depth observed at submit time.  ``rejected`` counts
+    :class:`~repro.errors.QueueFullError` backpressure events — a
+    rejected request was never admitted, so it appears in no other
+    counter.
+    """
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        self._latencies_ms: list[float] = []
+        self._batch_sizes: Counter[int] = Counter()
+        self._queue_depths: Counter[int] = Counter()
+        self._started_at: float | None = None
+        self._stopped_at: float | None = None
+
+    # -- recording (called by the server and its clients) ---------------------------
+
+    def mark_started(self) -> None:
+        with self._lock:
+            self._started_at = self._clock()
+            self._stopped_at = None
+
+    def mark_stopped(self) -> None:
+        with self._lock:
+            self._stopped_at = self._clock()
+
+    def record_submitted(self, queue_depth: int) -> None:
+        with self._lock:
+            self.submitted += 1
+            self._queue_depths[int(queue_depth)] += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_batch(self, batch_size: int) -> None:
+        with self._lock:
+            self._batch_sizes[int(batch_size)] += 1
+
+    def record_completed(self, latency_s: float) -> None:
+        with self._lock:
+            self.completed += 1
+            self._latencies_ms.append(latency_s * 1e3)
+
+    def record_failed(self, count: int = 1) -> None:
+        with self._lock:
+            self.failed += count
+
+    # -- roll-ups --------------------------------------------------------------------
+
+    @property
+    def elapsed_s(self) -> float:
+        """Wall-clock seconds between start and stop (or now)."""
+        with self._lock:
+            if self._started_at is None:
+                return 0.0
+            end = self._stopped_at if self._stopped_at is not None else self._clock()
+            return max(0.0, end - self._started_at)
+
+    @property
+    def achieved_inf_s(self) -> float:
+        """Completed inferences per wall-clock second."""
+        elapsed = self.elapsed_s
+        if elapsed <= 0.0:
+            return 0.0
+        return self.completed / elapsed
+
+    def percentiles(self) -> dict:
+        with self._lock:
+            samples = list(self._latencies_ms)
+        return latency_percentiles(samples)
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot of every counter, histogram and roll-up."""
+        with self._lock:
+            samples = list(self._latencies_ms)
+            batch_sizes = dict(sorted(self._batch_sizes.items()))
+            queue_depths = dict(sorted(self._queue_depths.items()))
+            counters = {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected": self.rejected,
+            }
+        out = {
+            **counters,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "achieved_inf_s": round(self.achieved_inf_s, 2),
+            "batch_size_hist": {str(k): v for k, v in batch_sizes.items()},
+            "queue_depth_hist": {str(k): v for k, v in queue_depths.items()},
+        }
+        if samples:
+            out["latency"] = {
+                **latency_percentiles(samples),
+                "mean_ms": float(np.mean(samples)),
+                "max_ms": float(np.max(samples)),
+            }
+            sizes = np.array(
+                [k * v for k, v in batch_sizes.items()], dtype=np.float64
+            )
+            flushes = sum(batch_sizes.values())
+            if flushes:
+                out["mean_batch_size"] = float(sizes.sum() / flushes)
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    def summary(self) -> str:
+        """One human-readable block (the CLI's closing report)."""
+        data = self.to_dict()
+        lines = [
+            f"requests: {data['submitted']} submitted, "
+            f"{data['completed']} completed, {data['failed']} failed, "
+            f"{data['rejected']} rejected (backpressure)",
+            f"throughput: {data['achieved_inf_s']:,.0f} inf/s over "
+            f"{data['elapsed_s']:.2f}s",
+        ]
+        if "latency" in data:
+            lat = data["latency"]
+            lines.append(
+                f"latency: p50 {lat['p50_ms']:.2f} ms, "
+                f"p95 {lat['p95_ms']:.2f} ms, p99 {lat['p99_ms']:.2f} ms"
+            )
+        if "mean_batch_size" in data:
+            lines.append(f"mean batch size: {data['mean_batch_size']:.1f}")
+        return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""Model registry: named, hot-swappable ``EsamNetwork`` instances.
+
+Clients address the server by model *name*; the registry maps each name
+to a network built from a sweep :class:`~repro.sweep.spec.DesignPoint`
+(any cell option / Vprech / engine-agnostic configuration the design
+space knows) or registered directly.  Reusing ``DesignPoint`` keeps the
+serving layer on the same validated configuration vocabulary as the
+sweep engine — a served model *is* a design point with traffic.
+
+Hot swap comes in two flavours:
+
+* **in-place weight updates** (online learning, fault injection)
+  need no registry call at all: mutating a tile bumps
+  ``Tile.weight_version`` and the network's cached fast engine rebuilds
+  on the next batch, so requests after the update are served by the new
+  weights;
+* **whole-network replacement** via :meth:`ModelRegistry.swap`, which
+  atomically rebinds a name to a new network with the same interface
+  (input width / class count), for staged rollouts of retrained models.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, ServingError
+from repro.learning.convert import ConvertedSNN
+from repro.learning.pretrained import get_reference_model
+from repro.sweep.spec import DesignPoint
+from repro.tile.network import EsamNetwork
+
+
+@dataclass(frozen=True)
+class RegisteredModel:
+    """One registry entry: the live network and its provenance."""
+
+    name: str
+    network: EsamNetwork
+    point: DesignPoint | None = None
+
+    def describe(self) -> dict:
+        """JSON-ready summary (CLI ``--list-models``, metrics export)."""
+        out = {
+            "name": self.name,
+            "layers": self.network.layer_sizes,
+            "cell_type": self.network.cell_type.value,
+            "vprech": self.network.vprech,
+            "weight_versions": list(self.weight_versions),
+        }
+        if self.point is not None:
+            out["point"] = self.point.label
+        return out
+
+    @property
+    def weight_versions(self) -> tuple[int, ...]:
+        """Per-tile weight versions (bumped by in-place updates)."""
+        return tuple(t.weight_version for t in self.network.tiles)
+
+
+def build_network(point: DesignPoint,
+                  snn: ConvertedSNN | None = None) -> EsamNetwork:
+    """Materialize the network a design point describes.
+
+    With ``snn=None`` the reference model for the point's
+    ``quality``/``seed`` is used (same resolution rule as the sweep
+    runner), so a registry entry and a sweep row built from the same
+    point simulate the same hardware.
+    """
+    if snn is None:
+        snn = get_reference_model(point.quality, point.seed).snn
+    return EsamNetwork(
+        snn.weights, snn.thresholds, output_bias=snn.output_bias,
+        cell_type=point.cell_type, vprech=point.vprech,
+    )
+
+
+class ModelRegistry:
+    """Thread-safe name -> network mapping used by the server."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._models: dict[str, RegisteredModel] = {}
+
+    # -- registration ---------------------------------------------------------------
+
+    def register(self, name: str, point: DesignPoint,
+                 snn: ConvertedSNN | None = None) -> EsamNetwork:
+        """Build and register the network of a design point."""
+        return self.register_network(name, build_network(point, snn),
+                                     point=point)
+
+    def register_network(self, name: str, network: EsamNetwork,
+                         point: DesignPoint | None = None) -> EsamNetwork:
+        """Register an existing network under ``name``."""
+        if not name:
+            raise ConfigurationError("model name must be non-empty")
+        with self._lock:
+            if name in self._models:
+                raise ConfigurationError(
+                    f"model {name!r} is already registered; use swap() to "
+                    "replace it"
+                )
+            self._models[name] = RegisteredModel(
+                name=name, network=network, point=point
+            )
+        return network
+
+    def swap(self, name: str, network: EsamNetwork,
+             point: DesignPoint | None = None) -> EsamNetwork:
+        """Atomically replace ``name``'s network; returns the old one.
+
+        The replacement must present the same interface (input width
+        and class count) so in-flight clients keep working.  Provenance
+        is not inherited: pass the new network's ``point`` if it has
+        one, otherwise the entry reports none (the old point would
+        describe a network no longer serving traffic).
+        """
+        with self._lock:
+            old = self.entry(name).network
+            if (network.tiles[0].n_in != old.tiles[0].n_in
+                    or network.tiles[-1].n_out != old.tiles[-1].n_out):
+                raise ConfigurationError(
+                    f"cannot swap model {name!r}: interface "
+                    f"{network.tiles[0].n_in}->{network.tiles[-1].n_out} != "
+                    f"{old.tiles[0].n_in}->{old.tiles[-1].n_out}"
+                )
+            self._models[name] = RegisteredModel(
+                name=name, network=network, point=point
+            )
+            return old
+
+    # -- lookup ---------------------------------------------------------------------
+
+    def entry(self, name: str) -> RegisteredModel:
+        with self._lock:
+            try:
+                return self._models[name]
+            except KeyError:
+                known = ", ".join(sorted(self._models)) or "<none>"
+                raise ServingError(
+                    f"no model named {name!r} is registered "
+                    f"(registered: {known})"
+                ) from None
+
+    def get(self, name: str) -> EsamNetwork:
+        """The live network for ``name`` (raises :class:`ServingError`)."""
+        return self.entry(name).network
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._models)
+
+    def describe(self) -> list[dict]:
+        with self._lock:
+            entries = list(self._models.values())
+        return [entry.describe() for entry in entries]
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._models
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._models)

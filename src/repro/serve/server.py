@@ -1,0 +1,271 @@
+"""The inference server: bounded queue, dispatch loop, backpressure.
+
+``InferenceServer`` turns the batched engine into a traffic-serving
+system.  Clients call :meth:`~InferenceServer.submit` (non-blocking,
+returns a future) or :meth:`~InferenceServer.classify` (blocking
+convenience); a single dispatch thread moves admitted requests into
+per-model :class:`~repro.serve.batcher.MicroBatcher`s and flushes ready
+batches through ``EsamNetwork.infer_batch``.
+
+Backpressure is explicit and accounted: the server admits at most
+``max_queue_depth`` in-flight requests (submitted but not yet
+resolved); beyond that, :meth:`submit` raises
+:class:`~repro.errors.QueueFullError` without enqueueing anything.  No
+admitted request is ever dropped silently — every future is resolved
+with a prediction, failed with the inference exception, or failed with
+:class:`~repro.errors.ServingError` if the server stops without
+draining.
+
+Predictions are deterministic: ``infer_batch`` is split-invariant (a
+property the test suite asserts), so however arrival timing partitions
+a request stream into micro-batches, every request gets the same
+prediction the offline ``classify_batch`` would give it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, QueueFullError, ServingError
+from repro.serve.batcher import BatchPolicy, MicroBatcher
+from repro.serve.metrics import ServingMetrics
+from repro.serve.registry import ModelRegistry
+from repro.tile.network import validate_engine, validate_spikes
+
+
+@dataclass
+class _Request:
+    """One admitted classification request."""
+
+    model: str
+    spikes: np.ndarray
+    submitted_at: float
+    future: Future = field(default_factory=Future)
+
+
+class InferenceServer:
+    """Micro-batching classification service over a model registry.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.serve.registry.ModelRegistry` holding the
+        servable networks.  Must be non-empty before requests arrive.
+    policy:
+        The :class:`~repro.serve.batcher.BatchPolicy` applied per
+        model (default: 64-image batches, 2 ms coalescing window).
+    max_queue_depth:
+        In-flight request bound; the explicit backpressure knob.
+    engine:
+        Simulation engine used for every flush (``"fast"`` default;
+        ``"cycle"`` serves bit-identical predictions slowly).
+    metrics:
+        Optional externally-owned :class:`ServingMetrics` collector.
+    """
+
+    def __init__(self, registry: ModelRegistry,
+                 policy: BatchPolicy | None = None,
+                 max_queue_depth: int = 256,
+                 engine: str = "fast",
+                 metrics: ServingMetrics | None = None,
+                 clock=time.monotonic) -> None:
+        validate_engine(engine)
+        if max_queue_depth < 1:
+            raise ConfigurationError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
+        self.registry = registry
+        self.policy = policy or BatchPolicy()
+        self.max_queue_depth = max_queue_depth
+        self.engine = engine
+        self.metrics = metrics or ServingMetrics()
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._inbox: list[_Request] = []
+        self._batchers: dict[str, MicroBatcher] = {}
+        self._in_flight = 0
+        self._running = False
+        self._drain_on_stop = True
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def start(self) -> "InferenceServer":
+        """Spawn the dispatch thread (idempotent)."""
+        with self._cond:
+            if self._running:
+                return self
+            self._running = True
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatch",
+            daemon=True,
+        )
+        self.metrics.mark_started()
+        self._thread.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the dispatch thread.
+
+        ``drain=True`` (default) serves every admitted request before
+        returning; ``drain=False`` fails still-pending futures with
+        :class:`ServingError` — either way nothing is silently lost.
+        """
+        with self._cond:
+            if not self._running and self._thread is None:
+                return
+            self._running = False
+            self._drain_on_stop = drain
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.metrics.mark_stopped()
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop(drain=True)
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def in_flight(self) -> int:
+        """Requests admitted but not yet resolved."""
+        with self._cond:
+            return self._in_flight
+
+    # -- client API -----------------------------------------------------------------
+
+    def submit(self, model: str, spikes: np.ndarray) -> Future:
+        """Admit one request; returns a future resolving to the class.
+
+        Validates the model name and spike vector *before* admission
+        and raises :class:`QueueFullError` when ``max_queue_depth``
+        requests are already in flight (explicit backpressure — the
+        request is not enqueued).
+        """
+        network = self.registry.get(model)
+        spikes = validate_spikes(spikes, network.tiles[0].n_in)
+        with self._cond:
+            if not self._running:
+                raise ServingError("the server is not running; call start()")
+            if self._in_flight >= self.max_queue_depth:
+                self.metrics.record_rejected()
+                raise QueueFullError(
+                    f"request queue is full ({self._in_flight} in flight, "
+                    f"max_queue_depth={self.max_queue_depth}); retry later"
+                )
+            self._in_flight += 1
+            request = _Request(
+                model=model, spikes=spikes, submitted_at=self._clock(),
+            )
+            self._inbox.append(request)
+            self.metrics.record_submitted(queue_depth=self._in_flight)
+            self._cond.notify_all()
+        return request.future
+
+    def classify(self, model: str, spikes: np.ndarray,
+                 timeout: float | None = 30.0) -> int:
+        """Blocking single-request convenience around :meth:`submit`."""
+        return self.submit(model, spikes).result(timeout=timeout)
+
+    # -- dispatch loop --------------------------------------------------------------
+
+    def _batcher_for(self, model: str) -> MicroBatcher:
+        batcher = self._batchers.get(model)
+        if batcher is None:
+            batcher = MicroBatcher(self.policy, clock=self._clock)
+            self._batchers[model] = batcher
+        return batcher
+
+    def _next_deadline(self) -> float | None:
+        deadlines = [
+            d for d in (b.next_deadline() for b in self._batchers.values())
+            if d is not None
+        ]
+        return min(deadlines) if deadlines else None
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                if (self._running and not self._inbox
+                        and not any(
+                            b.ready(self._clock())
+                            for b in self._batchers.values()
+                        )):
+                    deadline = self._next_deadline()
+                    timeout = None
+                    if deadline is not None:
+                        timeout = max(0.0, deadline - self._clock())
+                    self._cond.wait(timeout)
+                stopping = not self._running
+                drained = self._inbox
+                self._inbox = []
+            for request in drained:
+                self._batcher_for(request.model).add(
+                    request, now=request.submitted_at
+                )
+            if stopping:
+                # Everything admitted is in the batchers now: submit()
+                # rejects once _running is false (checked under the same
+                # lock the inbox was emptied under), so the shutdown
+                # flush sees the complete final state.
+                self._shutdown_flush()
+                return
+            now = self._clock()
+            for model, batcher in self._batchers.items():
+                while batcher.ready(now):
+                    self._run_batch(model, batcher.take(now))
+                    now = self._clock()
+
+    def _shutdown_flush(self) -> None:
+        """Resolve everything still pending after stop().
+
+        With ``drain=False`` nothing is inferred — not even
+        deadline-expired batches — so an abort returns promptly no
+        matter how deep the backlog or how slow the engine.
+        """
+        for model, batcher in self._batchers.items():
+            for batch in batcher.drain():
+                if self._drain_on_stop:
+                    self._run_batch(model, batch)
+                else:
+                    error = ServingError(
+                        "server stopped without draining; request abandoned"
+                    )
+                    for request in batch:
+                        request.future.set_exception(error)
+                        self.metrics.record_failed()
+                    with self._cond:
+                        self._in_flight -= len(batch)
+
+    def _run_batch(self, model: str, requests: list[_Request]) -> None:
+        """One coalesced ``infer_batch`` call; resolves every future."""
+        if not requests:
+            return
+        batch = np.stack([r.spikes for r in requests])
+        try:
+            network = self.registry.get(model)
+            predictions = network.classify_batch(batch, engine=self.engine)
+        except Exception as error:  # noqa: BLE001 - forwarded to callers
+            for request in requests:
+                request.future.set_exception(error)
+            self.metrics.record_failed(len(requests))
+        else:
+            done = self._clock()
+            self.metrics.record_batch(len(requests))
+            for request, prediction in zip(requests, predictions):
+                request.future.set_result(int(prediction))
+                self.metrics.record_completed(done - request.submitted_at)
+        with self._cond:
+            self._in_flight -= len(requests)
+            self._cond.notify_all()

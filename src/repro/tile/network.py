@@ -47,6 +47,43 @@ def validate_engine(engine: str) -> None:
         )
 
 
+def validate_spikes(spikes: np.ndarray, n_in: int, *,
+                    batch: bool = False) -> np.ndarray:
+    """Validate a binary spike input at an inference API boundary.
+
+    Spikes must be boolean, or numeric containing only 0 and 1 (the
+    encoders emit uint8); anything else — analog values, NaNs, the
+    wrong trailing dimension — previously fell through to numpy
+    broadcasting or ``astype(bool)`` truthiness and produced silently
+    wrong hardware activity.  Returns the input coerced to a bool
+    array: shape ``(n_in,)`` for a single request, ``(B, n_in)`` when
+    ``batch=True`` (a single vector is promoted to a 1-row batch).
+    """
+    arr = np.asarray(spikes)
+    expected = f"({n_in},) or (B, {n_in})" if batch else f"({n_in},)"
+    if batch:
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        if arr.ndim != 2 or arr.shape[1] != n_in:
+            raise ConfigurationError(
+                f"spike batch shape {np.asarray(spikes).shape} is not "
+                f"{expected}"
+            )
+    elif arr.shape != (n_in,):
+        raise ConfigurationError(
+            f"spike vector shape {arr.shape} is not {expected}"
+        )
+    if arr.dtype != np.bool_:
+        if arr.dtype.kind not in "biuf" or not ((arr == 0) | (arr == 1)).all():
+            raise ConfigurationError(
+                "spikes must be boolean or contain only 0/1 values "
+                f"(expected bool/uint8 of shape {expected}, got dtype "
+                f"{arr.dtype})"
+            )
+        arr = arr.astype(bool)
+    return arr
+
+
 @dataclass
 class InferenceTrace:
     """Cycle/energy record of one or more inferences through the network."""
@@ -177,7 +214,7 @@ class EsamNetwork:
         per-class bias if configured).  Appends per-tile cycle counts to
         ``trace`` when given.
         """
-        spikes = np.asarray(spikes).astype(bool)
+        spikes = validate_spikes(spikes, self.tiles[0].n_in)
         cycles_before = [t.stats.total_cycles for t in self.tiles]
         x = spikes
         for tile in self.tiles[:-1]:
@@ -224,10 +261,10 @@ class EsamNetwork:
         energy ledgers (asserted by the equivalence test suite).
         """
         validate_engine(engine)
+        spikes = validate_spikes(spikes, self.tiles[0].n_in, batch=True)
         if engine == "fast":
             return self.fast_engine().infer_batch(spikes, trace)
-        batch = np.atleast_2d(np.asarray(spikes))
-        return np.stack([self.infer(row, trace) for row in batch])
+        return np.stack([self.infer(row, trace) for row in spikes])
 
     def classify_batch(self, spikes: np.ndarray,
                        trace: InferenceTrace | None = None,
