@@ -19,14 +19,12 @@ is comparable across PRs.
 
 from __future__ import annotations
 
-import json
 import threading
 import time
 from pathlib import Path
 
 import numpy as np
 
-from repro.envinfo import environment_info
 from repro.serve import BatchPolicy, InferenceServer, ModelRegistry
 from repro.snn.encode import encode_images
 from repro.sram.bitcell import CellType
@@ -57,7 +55,7 @@ def _serve_trace(server: InferenceServer, spikes: np.ndarray) -> np.ndarray:
     return served
 
 
-def test_microbatched_serving_speedup(reference_model):
+def test_microbatched_serving_speedup(reference_model, bench_report):
     point = DesignPoint(cell_type=CellType.C1RW4R)
     registry = ModelRegistry()
     network = registry.register("esam", point, snn=reference_model.snn)
@@ -125,9 +123,8 @@ def test_microbatched_serving_speedup(reference_model):
         },
         "speedup": round(speedup, 1),
         "predictions_identical": identical,
-        "environment": environment_info(),
     }
-    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    bench_report(BENCH_JSON, payload, point.hardware)
     print(
         f"\nmicro-batched serving: {N_REQUESTS / batched_s:,.0f} inf/s, "
         f"per-request: {N_REQUESTS / unbatched_s:,.0f} inf/s "

@@ -9,14 +9,12 @@ written to ``BENCH_simulator.json`` so the perf trajectory is tracked
 across PRs.
 """
 
-import json
 import time
 from pathlib import Path
 
 import numpy as np
 import pytest
 
-from repro.envinfo import environment_info
 from repro.snn.encode import encode_images
 from repro.sram.bitcell import CellType
 from repro.tile.network import InferenceTrace
@@ -64,7 +62,8 @@ def test_fast_engine_batch_speed(benchmark, evaluator, reference_model):
     assert predictions.shape == (BATCH_IMAGES,)
 
 
-def test_engine_speedup_and_equivalence(evaluator, reference_model):
+def test_engine_speedup_and_equivalence(evaluator, reference_model,
+                                        bench_report):
     """Fast vs cycle engine on the reference 768:256:256:256:10 network.
 
     Times both engines over the same 256-image batch, asserts the >=20x
@@ -111,9 +110,8 @@ def test_engine_speedup_and_equivalence(evaluator, reference_model):
         },
         "speedup": round(speedup, 1),
         "bit_identical_traces": True,
-        "environment": environment_info(),
     }
-    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    bench_report(BENCH_JSON, payload, net.config)
     print(
         f"\nfast engine: {BATCH_IMAGES / fast_s:,.0f} img/s, "
         f"cycle engine: {BATCH_IMAGES / cycle_s:,.0f} img/s "

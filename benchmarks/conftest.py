@@ -7,8 +7,13 @@ console log doubles as the reproduction record (EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import json
+import pathlib
+
 import pytest
 
+from repro.envinfo import environment_info
+from repro.hw.config import HardwareConfig
 from repro.learning.pretrained import ReferenceModel, get_reference_model
 from repro.system.config import SystemConfig
 from repro.system.evaluate import SystemEvaluator
@@ -25,3 +30,25 @@ def evaluator(reference_model) -> SystemEvaluator:
     """System evaluator over a 32-image cycle-accurate sample."""
     config = SystemConfig(sample_images=32)
     return SystemEvaluator(config, quality="full")
+
+
+@pytest.fixture(scope="session")
+def bench_report():
+    """Writer for ``BENCH_*.json`` trajectory files.
+
+    Every BENCH artifact must be self-describing: which hardware the
+    numbers were measured on (the full ``HardwareConfig`` dict) and
+    which host measured them (``environment_info()``).  The serving and
+    simulator benchmarks used to stamp these by hand; this fixture is
+    the single implementation.
+    """
+
+    def write(path: pathlib.Path, payload: dict,
+              hardware: HardwareConfig) -> pathlib.Path:
+        stamped = dict(payload)
+        stamped["hardware"] = hardware.to_dict()
+        stamped["environment"] = environment_info()
+        path.write_text(json.dumps(stamped, indent=2) + "\n")
+        return path
+
+    return write

@@ -6,6 +6,11 @@ Public API overview
 ``repro.core.EsamSystem``
     Top-level facade: build the accelerator, classify images
     cycle-accurately, run online learning.
+``repro.hw``
+    The declarative hardware description layer: ``HardwareConfig``
+    (cell, Vprech, technology node, process corner, topology, seed)
+    threaded from the bitcell models to serving, plus the shared CLI
+    config surface.
 ``repro.sram``
     Multiport transposable bitcells, arrays and the calibrated
     circuit-level models (Figures 6 and 7).
@@ -35,6 +40,7 @@ Public API overview
 from repro.core.esam import EsamSystem
 from repro.core.results import ClassificationResult, HardwareReport
 from repro.errors import QueueFullError, ServingError
+from repro.hw.config import HardwareConfig, paper_point, validate_vprech
 from repro.sram.bitcell import CellType
 
 __version__ = "0.1.0"
@@ -43,6 +49,9 @@ __all__ = [
     "EsamSystem",
     "ClassificationResult",
     "HardwareReport",
+    "HardwareConfig",
+    "paper_point",
+    "validate_vprech",
     "CellType",
     "QueueFullError",
     "ServingError",

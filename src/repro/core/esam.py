@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.results import ClassificationResult, HardwareReport
 from repro.errors import ConfigurationError
+from repro.hw.config import HardwareConfig
 from repro.learning.convert import ConvertedSNN
 from repro.learning.online import OnlineLearningEngine, OnlineLearningReport
 from repro.learning.pretrained import get_reference_model
@@ -34,14 +35,20 @@ class EsamSystem:
     """A configured ESAM accelerator holding one trained network."""
 
     def __init__(self, snn: ConvertedSNN, cell_type: CellType = CellType.C1RW4R,
-                 vprech: float = 0.500) -> None:
+                 vprech: float = 0.500,
+                 config: HardwareConfig | None = None) -> None:
         self.snn = snn
-        self.cell_type = cell_type
-        self.vprech = vprech
+        if config is None:
+            # Legacy kwarg shim (deprecated, kept for one release).
+            config = HardwareConfig(cell_type=cell_type, vprech=vprech)
         self.network = EsamNetwork(
             snn.weights, snn.thresholds, output_bias=snn.output_bias,
-            cell_type=cell_type, vprech=vprech,
+            config=config,
         )
+        # The network reconciles layer_sizes with the actual weights.
+        self.config = self.network.config
+        self.cell_type = self.config.cell_type
+        self.vprech = self.config.vprech
         self._energy_model = SystemEnergyModel(self.network)
 
     # -- constructors -----------------------------------------------------------
@@ -49,15 +56,26 @@ class EsamSystem:
     @classmethod
     def from_pretrained(cls, cell_type: CellType = CellType.C1RW4R,
                         vprech: float = 0.500, quality: str = "full",
-                        seed: int = 42) -> "EsamSystem":
-        """Build the paper's system with the cached trained network."""
-        reference = get_reference_model(quality, seed)
-        return cls(reference.snn, cell_type=cell_type, vprech=vprech)
+                        seed: int | None = None,
+                        config: HardwareConfig | None = None) -> "EsamSystem":
+        """Build the paper's system with the cached trained network.
+
+        Pass a :class:`HardwareConfig` to select node/corner as well;
+        its ``seed`` picks the trained model unless ``seed`` is given
+        explicitly.
+        """
+        if config is None:
+            config = HardwareConfig(cell_type=cell_type, vprech=vprech)
+        if seed is not None:
+            config = config.replace(seed=seed)
+        reference = get_reference_model(quality, config.seed)
+        return cls(reference.snn, config=config)
 
     @classmethod
     def from_random(cls, layer_sizes: tuple[int, ...],
                     cell_type: CellType = CellType.C1RW4R,
-                    vprech: float = 0.500, seed: int = 0) -> "EsamSystem":
+                    vprech: float = 0.500, seed: int = 0,
+                    config: HardwareConfig | None = None) -> "EsamSystem":
         """Random binary network (workload studies, not classification)."""
         if len(layer_sizes) < 2:
             raise ConfigurationError("need at least input + output layer")
@@ -75,7 +93,9 @@ class EsamSystem:
             thresholds=thresholds,
             output_bias=np.zeros(layer_sizes[-1]),
         )
-        return cls(snn, cell_type=cell_type, vprech=vprech)
+        if config is None:
+            config = HardwareConfig(cell_type=cell_type, vprech=vprech)
+        return cls(snn, config=config)
 
     # -- inference ------------------------------------------------------------------
 

@@ -1,0 +1,81 @@
+"""Shared CLI surface for hardware configuration.
+
+Both entry points (``python -m repro.sweep`` and ``python -m
+repro.serve``) describe hardware through the same flags —
+``--config`` (a :class:`~repro.hw.config.HardwareConfig` JSON file)
+plus ``--cell / --vprech / --node / --corner`` overrides — parsed by
+the same two functions, so the CLIs cannot drift: choices come from the
+cell/node/corner registries and defaults from the ``HardwareConfig``
+field defaults, never from hand-rolled literals.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.hw.config import PAPER_VPRECH, HardwareConfig
+from repro.sram.bitcell import ALL_CELLS, SELECTED_CELL, CellType
+from repro.tech.constants import DEFAULT_NODE, TECHNOLOGY_NODES
+from repro.tech.corners import DEFAULT_CORNER, PROCESS_CORNERS
+
+
+def add_hardware_arguments(parser: argparse.ArgumentParser, *,
+                           cell: bool = True) -> None:
+    """Attach the shared hardware flags to ``parser``.
+
+    Flags default to ``None`` ("not overridden"); the effective
+    defaults are the :class:`HardwareConfig` field defaults, applied by
+    :func:`hardware_from_args`.  Pass ``cell=False`` for CLIs where the
+    cell option is a swept axis rather than a scalar choice.
+    """
+    group = parser.add_argument_group(
+        "hardware", "design point (see repro.hw.HardwareConfig)"
+    )
+    group.add_argument(
+        "--config", metavar="PATH", default=None,
+        help="HardwareConfig JSON file; flags below override its fields",
+    )
+    if cell:
+        group.add_argument(
+            "--cell", choices=[c.value for c in ALL_CELLS], default=None,
+            help=f"SRAM cell option (default: {SELECTED_CELL.value})",
+        )
+    group.add_argument(
+        "--vprech", type=float, default=None, metavar="V",
+        help=f"read-port precharge voltage (default: {PAPER_VPRECH})",
+    )
+    group.add_argument(
+        "--node", choices=sorted(TECHNOLOGY_NODES), default=None,
+        help=f"technology node (default: {DEFAULT_NODE})",
+    )
+    group.add_argument(
+        "--corner", choices=sorted(PROCESS_CORNERS), default=None,
+        help=f"process corner (default: {DEFAULT_CORNER})",
+    )
+
+
+def hardware_from_args(args: argparse.Namespace, *,
+                       seed: int | None = None) -> HardwareConfig:
+    """Resolve the shared flags into one validated :class:`HardwareConfig`.
+
+    Resolution order: ``HardwareConfig`` defaults, then the
+    ``--config`` file (if given), then any explicit flag overrides,
+    then ``seed`` (CLIs keep their own ``--seed`` flag because it also
+    seeds non-hardware concerns like arrival traces).
+    """
+    if getattr(args, "config", None):
+        base = HardwareConfig.from_json(args.config)
+    else:
+        base = HardwareConfig()
+    overrides: dict = {}
+    if getattr(args, "cell", None) is not None:
+        overrides["cell_type"] = CellType(args.cell)
+    if getattr(args, "vprech", None) is not None:
+        overrides["vprech"] = args.vprech
+    if getattr(args, "node", None) is not None:
+        overrides["node"] = args.node
+    if getattr(args, "corner", None) is not None:
+        overrides["corner"] = args.corner
+    if seed is not None:
+        overrides["seed"] = seed
+    return base.replace(**overrides) if overrides else base

@@ -28,12 +28,12 @@ import numpy as np
 
 from repro.envinfo import environment_info
 from repro.errors import QueueFullError, ReproError
+from repro.hw.cli import add_hardware_arguments, hardware_from_args
 from repro.learning.pretrained import QUALITY_PRESETS, get_reference_model
 from repro.serve.batcher import BatchPolicy
 from repro.serve.registry import ModelRegistry
 from repro.serve.server import InferenceServer
 from repro.snn.encode import encode_images
-from repro.sram.bitcell import ALL_CELLS, CellType
 from repro.sweep.spec import DesignPoint
 from repro.tile.network import ENGINES
 
@@ -59,21 +59,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--clients", type=int, default=8, metavar="N",
         help="closed-loop client threads (default: 8)",
     )
-    parser.add_argument(
-        "--cell", choices=[c.value for c in ALL_CELLS], default="1RW+4R",
-        help="SRAM cell option to serve (default: 1RW+4R)",
-    )
-    parser.add_argument(
-        "--vprech", type=float, default=0.500,
-        help="read-port precharge voltage (default: 0.5)",
-    )
+    # One shared hardware surface (--config/--cell/--vprech/--node/
+    # --corner) with choices and defaults derived from the registries,
+    # so this CLI cannot drift from `python -m repro.sweep`.
+    add_hardware_arguments(parser)
     parser.add_argument(
         "--quality", choices=QUALITY_PRESETS, default="fast",
         help="reference-model preset (default: fast)",
     )
     parser.add_argument(
-        "--seed", type=int, default=42,
-        help="model + arrival-trace seed (default: 42)",
+        "--seed", type=int, default=None,
+        help="model + arrival-trace seed (default: the --config file's "
+             "seed, else 42)",
     )
     parser.add_argument(
         "--engine", choices=ENGINES, default="fast",
@@ -158,11 +155,14 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--clients must be >= 1")
 
     try:
+        # --seed (when given) overrides the config file's seed; the
+        # resolved hardware seed drives the model and arrival trace.
+        hardware = hardware_from_args(args, seed=args.seed)
+        seed = hardware.seed
         point = DesignPoint(
-            cell_type=CellType(args.cell), vprech=args.vprech,
-            engine=args.engine, quality=args.quality, seed=args.seed,
+            hardware=hardware, engine=args.engine, quality=args.quality,
         )
-        reference = get_reference_model(args.quality, args.seed)
+        reference = get_reference_model(args.quality, seed)
         registry = ModelRegistry()
         registry.register(MODEL_NAME, point, snn=reference.snn)
         policy = BatchPolicy(
@@ -178,7 +178,7 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     pool = encode_images(reference.dataset.test_images)
-    rng = np.random.default_rng(args.seed)
+    rng = np.random.default_rng(seed)
     indices = rng.integers(0, pool.shape[0], size=n_requests)
     spikes = pool[indices]
     served = np.full(n_requests, -1, dtype=np.int64)
@@ -220,6 +220,7 @@ def main(argv: list[str] | None = None) -> int:
             },
             "metrics": server.metrics.to_dict(),
             "verified_vs_offline": verified,
+            "hardware": hardware.to_dict(),
             "environment": environment_info(),
         }
         with open(args.json, "w") as handle:

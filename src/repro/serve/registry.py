@@ -46,6 +46,8 @@ class RegisteredModel:
             "layers": self.network.layer_sizes,
             "cell_type": self.network.cell_type.value,
             "vprech": self.network.vprech,
+            "node": self.network.config.node,
+            "corner": self.network.config.corner,
             "weight_versions": list(self.weight_versions),
         }
         if self.point is not None:
@@ -71,7 +73,7 @@ def build_network(point: DesignPoint,
         snn = get_reference_model(point.quality, point.seed).snn
     return EsamNetwork(
         snn.weights, snn.thresholds, output_bias=snn.output_bias,
-        cell_type=point.cell_type, vprech=point.vprech,
+        config=point.hardware,
     )
 
 

@@ -295,7 +295,10 @@ class ReadPortModel:
         system-level model (leakage is integrated separately there)."""
         return self.operating_point(cell_type, vprech).read_energy_pj
 
-    @staticmethod
-    def _validate_vprech(vprech: float) -> None:
-        if not 0.0 < vprech <= 1.0:
-            raise ConfigurationError(f"vprech out of range: {vprech}")
+    def _validate_vprech(self, vprech: float) -> None:
+        # Deferred import: repro.hw sits above repro.sram in the layer
+        # stack (it imports repro.sram.bitcell), so importing it at
+        # module scope here would be circular.
+        from repro.hw.config import validate_vprech
+
+        validate_vprech(vprech, self.node.vdd)

@@ -32,6 +32,7 @@ from repro.sweep.spec import (
     NAMED_SWEEPS,
     DesignPoint,
     SweepSpec,
+    corners_spec,
     engines_spec,
     figure8_spec,
     ports_spec,
@@ -52,6 +53,7 @@ __all__ = [
     "vprech_spec",
     "ports_spec",
     "engines_spec",
+    "corners_spec",
     "evaluate_point",
     "point_key",
     "weights_fingerprint",

@@ -6,19 +6,27 @@ Examples::
     python -m repro.sweep figure8 --workers 4 --sample-images 32
     python -m repro.sweep vprech --out vprech.json --csv vprech.csv
     python -m repro.sweep figure8 --claims --no-cache
+    python -m repro.sweep corners --claims
+    python -m repro.sweep figure8 --node 5nm --corner slow
 
-Re-running a sweep with an unchanged model serves every point from the
-on-disk cache (``.artifacts/sweep_cache/`` by default) and finishes in
-milliseconds; ``--cache-dir`` relocates the cache, ``--no-cache``
-forces fresh evaluation.
+Hardware scalars come from the shared config surface (``--config`` /
+``--cell`` / ``--vprech`` / ``--node`` / ``--corner``, see
+:mod:`repro.hw.cli`); each named sweep consumes the subset it does not
+itself sweep.  Re-running a sweep with an unchanged model serves every
+point from the on-disk cache (``.artifacts/sweep_cache/`` by default)
+and finishes in milliseconds; ``--cache-dir`` relocates the cache,
+``--no-cache`` forces fresh evaluation.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 
 from repro.errors import ReproError
+from repro.hw.cli import add_hardware_arguments, hardware_from_args
+from repro.hw.config import HardwareConfig
 from repro.learning.pretrained import QUALITY_PRESETS
 from repro.sweep.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.sweep.runner import SweepRunner
@@ -51,8 +59,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="reference-model preset (default: full)",
     )
     parser.add_argument(
-        "--seed", type=int, default=42,
-        help="model/sampling seed (default: 42)",
+        "--seed", type=int, default=None,
+        help="model/sampling seed (default: the --config file's seed, "
+             "else 42)",
     )
     parser.add_argument(
         "--out", metavar="PATH", help="write the result as JSON",
@@ -72,6 +81,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--claims", action="store_true",
         help="also print the headline claims derived from the rows",
     )
+    # The cell option is a swept axis for every named sweep, so only
+    # the scalar hardware flags are exposed here.
+    add_hardware_arguments(parser, cell=False)
     return parser
 
 
@@ -88,10 +100,36 @@ def main(argv: list[str] | None = None) -> int:
     if args.sweep is None:
         parser.error("a sweep name (or --list) is required")
 
-    spec = NAMED_SWEEPS[args.sweep](
-        sample_images=args.sample_images, quality=args.quality,
-        seed=args.seed,
-    )
+    try:
+        hardware = hardware_from_args(args, seed=args.seed)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    factory = NAMED_SWEEPS[args.sweep]
+    # Every factory takes the evaluation scalars; each consumes only
+    # the hardware scalars it does not itself sweep (e.g. the corners
+    # sweep has no scalar `corner`), so filter by signature.
+    available = {
+        "sample_images": args.sample_images, "quality": args.quality,
+        "seed": hardware.seed, "vprech": hardware.vprech,
+        "node": hardware.node, "corner": hardware.corner,
+    }
+    accepted = inspect.signature(factory).parameters
+    kwargs = {k: v for k, v in available.items() if k in accepted}
+    # A scalar the user pinned — by flag or via the --config file —
+    # whose axis the factory sweeps (e.g. `corners --corner slow`,
+    # `vprech --vprech 0.6`) narrows that axis to the requested value
+    # instead of being silently dropped.
+    default_hw = HardwareConfig()
+    for scalar, plural in (
+        ("vprech", "vprechs"), ("node", "nodes"), ("corner", "corners"),
+    ):
+        pinned = (getattr(args, scalar, None) is not None
+                  or available[scalar] != getattr(default_hw, scalar))
+        if pinned and scalar not in accepted and plural in accepted:
+            kwargs[plural] = (available[scalar],)
+    spec = factory(**kwargs)
     if args.no_cache:
         cache: ResultCache | None = None
     else:
@@ -113,7 +151,12 @@ def main(argv: list[str] | None = None) -> int:
                   file=sys.stderr)
             return 1
         print()
-        print("headline claims (paper -> measured):")
+        claims_at = result.claims_group()
+        if {(r.point.node, r.point.corner) for r in result.rows} != {claims_at}:
+            print(f"headline claims at {claims_at[0]}/{claims_at[1]} "
+                  "(paper -> measured):")
+        else:
+            print("headline claims (paper -> measured):")
         print(f"  speedup vs 1RW:      3.1x  -> {claims.speedup_vs_1rw:.2f}x")
         print(f"  energy efficiency:   2.2x  -> "
               f"{claims.energy_efficiency_vs_1rw:.2f}x")

@@ -38,7 +38,10 @@ from repro.learning.convert import ConvertedSNN
 from repro.sweep.spec import DesignPoint
 
 #: Bump when the cached-row schema or evaluation semantics change.
-CACHE_VERSION = 1
+#: v2: design points carry explicit ``node``/``corner`` fields
+#: (HardwareConfig refactor), so v1 entries — implicitly 3nm/typical —
+#: are retired rather than aliased.
+CACHE_VERSION = 2
 
 #: Default cache root, shared with the trained-model artifacts.
 DEFAULT_CACHE_DIR = (

@@ -56,23 +56,24 @@ def evaluate_point(point: DesignPoint,
     evaluation semantics are defined.
     """
     if snn is not None:
-        config = SystemConfig(
-            cell_type=point.cell_type, vprech=point.vprech,
-            sample_images=point.sample_images, seed=point.seed,
+        config = SystemConfig.from_hardware(
+            point.hardware, sample_images=point.sample_images,
         )
         evaluator = SystemEvaluator(config, snn=snn, quality=point.quality)
     else:
+        # Memoized per (quality, seed, sample size): the trained model
+        # and encoded spike sample are hardware-independent, so points
+        # that differ only in cell/Vprech/node/corner share them.
         memo_key = (point.quality, point.seed, point.sample_images)
         evaluator = _EVALUATOR_MEMO.get(memo_key)
         if evaluator is None:
-            config = SystemConfig(
-                cell_type=point.cell_type, vprech=point.vprech,
-                sample_images=point.sample_images, seed=point.seed,
+            config = SystemConfig.from_hardware(
+                point.hardware, sample_images=point.sample_images,
             )
             evaluator = SystemEvaluator(config, quality=point.quality)
             _EVALUATOR_MEMO[memo_key] = evaluator
     row = evaluator.evaluate_cell(
-        point.cell_type, vprech=point.vprech, engine=point.engine,
+        engine=point.engine, hardware=point.hardware,
     )
     return row.metrics
 
@@ -182,8 +183,7 @@ class SweepRunner:
         if self._evaluator is not None:
             return [
                 self._evaluator.evaluate_cell(
-                    item.point.cell_type, vprech=item.point.vprech,
-                    engine=item.point.engine,
+                    engine=item.point.engine, hardware=item.point.hardware,
                 ).metrics
                 for item in misses
             ]

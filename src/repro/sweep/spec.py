@@ -8,51 +8,94 @@ product over the axes) and expands it into hashable
 :class:`DesignPoint` rows that the :class:`~repro.sweep.runner.SweepRunner`
 shards across worker processes and caches on disk.
 
-Every :class:`DesignPoint` is frozen, fully value-typed and carries its
-own seed, so a point evaluates to the same metrics no matter which
-worker, which shard order, or which session runs it.
+A :class:`DesignPoint` is a :class:`~repro.hw.config.HardwareConfig`
+(the hardware under evaluation — cell, Vprech, technology node,
+process corner, seed) plus the *evaluation* axes (cycle-accurate sample
+size, simulation engine, model-quality preset).  Every point is frozen,
+fully value-typed and carries its own seed, so a point evaluates to the
+same metrics no matter which worker, which shard order, or which
+session runs it.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.errors import ConfigurationError
+from repro.hw.config import HardwareConfig
 from repro.learning.pretrained import QUALITY_PRESETS
 from repro.sram.bitcell import ALL_CELLS, CellType
+from repro.tech.constants import DEFAULT_NODE
+from repro.tech.corners import DEFAULT_CORNER, PROCESS_CORNERS
 from repro.tile.network import validate_engine
 
 #: The Vprech grid of the system-level ablation (Figure 7's axis,
 #: restricted to the voltages the paper tabulates).
 VPRECH_GRID = (0.4, 0.5, 0.6, 0.7)
 
+#: The node/corner grid of the named "corners" sweep: the paper's 3nm
+#: node next to the trailing 5nm reference, each at nominal silicon and
+#: the +-3 sigma guardband corners.
+CORNER_SWEEP_NODES = ("3nm", "5nm")
+CORNER_SWEEP_CORNERS = ("typical", "slow", "fast")
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, init=False)
 class DesignPoint:
     """One fully-specified evaluation of the ESAM system.
 
     Hashable and order-independent: two points with equal fields are
     the same design point, which is what the on-disk result cache keys
     on (together with the network-weights fingerprint).
+
+    The hardware identity lives in :attr:`hardware`; the historical
+    flat kwargs (``cell_type``, ``vprech``, ``seed``, plus the new
+    ``node``/``corner``) are kept as a constructor shim and readable
+    properties, so ``DesignPoint(cell_type=..., vprech=...)`` and
+    ``dataclasses.replace(point, vprech=...)`` keep working.
     """
 
-    cell_type: CellType
-    vprech: float = 0.500
+    hardware: HardwareConfig
     sample_images: int = 64
     engine: str = "fast"
     quality: str = "full"
-    seed: int = 42
+
+    def __init__(self, cell_type: CellType | None = None,
+                 vprech: float | None = None,
+                 sample_images: int = 64, engine: str = "fast",
+                 quality: str = "full", seed: int | None = None,
+                 node: str | None = None, corner: str | None = None,
+                 hardware: HardwareConfig | None = None) -> None:
+        base = hardware if hardware is not None else HardwareConfig()
+        overrides = {
+            key: value
+            for key, value in (
+                ("cell_type", cell_type), ("vprech", vprech), ("seed", seed),
+                ("node", node), ("corner", corner),
+            )
+            if value is not None
+        }
+        if overrides:
+            base = base.replace(**overrides)
+        elif hardware is None and cell_type is None:
+            raise ConfigurationError(
+                "DesignPoint needs a hardware config or a cell_type"
+            )
+        object.__setattr__(self, "hardware", base)
+        object.__setattr__(self, "sample_images", sample_images)
+        object.__setattr__(self, "engine", engine)
+        object.__setattr__(self, "quality", quality)
+        self.__post_init__()
 
     def __post_init__(self) -> None:
         validate_engine(self.engine)
-        if not isinstance(self.cell_type, CellType):
+        if not isinstance(self.hardware, HardwareConfig):
             raise ConfigurationError(
-                f"cell_type must be a CellType, got {self.cell_type!r}"
+                f"hardware must be a HardwareConfig, got {self.hardware!r}"
             )
-        if not 0.0 < self.vprech <= 0.7:
-            raise ConfigurationError(f"vprech out of range: {self.vprech}")
         if self.sample_images < 1:
             raise ConfigurationError("sample_images must be >= 1")
         if self.quality not in QUALITY_PRESETS:
@@ -61,6 +104,28 @@ class DesignPoint:
                 f"got {self.quality!r}"
             )
 
+    # -- hardware views ----------------------------------------------------------
+
+    @property
+    def cell_type(self) -> CellType:
+        return self.hardware.cell_type
+
+    @property
+    def vprech(self) -> float:
+        return self.hardware.vprech
+
+    @property
+    def node(self) -> str:
+        return self.hardware.node
+
+    @property
+    def corner(self) -> str:
+        return self.hardware.corner
+
+    @property
+    def seed(self) -> int:
+        return self.hardware.seed
+
     @property
     def read_ports(self) -> int:
         """Row-wise inference ports of this point's cell."""
@@ -68,33 +133,45 @@ class DesignPoint:
 
     @property
     def label(self) -> str:
-        """Compact human-readable identity, e.g. ``1RW+4R@500mV``."""
+        """Compact human-readable identity, e.g.
+        ``1RW+4R@500mV/3nm/typical/64img/fast``."""
         return (
-            f"{self.cell_type.value}@{self.vprech * 1e3:.0f}mV"
+            f"{self.hardware.label}"
             f"/{self.sample_images}img/{self.engine}"
         )
 
     def to_dict(self) -> dict:
-        """JSON-ready representation (``cell_type`` by its paper name)."""
-        return {
-            "cell_type": self.cell_type.value,
-            "vprech": self.vprech,
-            "sample_images": self.sample_images,
-            "engine": self.engine,
-            "quality": self.quality,
-            "seed": self.seed,
-        }
+        """JSON-ready representation (``cell_type`` by its paper name).
+
+        Flat on purpose, and it covers *every* equality-bearing field
+        (the full hardware dict plus the evaluation axes) — these keys
+        feed the sweep cache key and the CSV export, and the golden
+        cache-key test pins this exact shape.
+        """
+        out = self.hardware.to_dict()
+        out.update(
+            sample_images=self.sample_images,
+            engine=self.engine,
+            quality=self.quality,
+        )
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "DesignPoint":
         """Inverse of :meth:`to_dict`."""
+        # Derived from the dataclass, not hardcoded: a field added to
+        # HardwareConfig round-trips here without a matching edit.
+        hardware_keys = {
+            f.name for f in dataclasses.fields(HardwareConfig)
+        }
+        hardware = HardwareConfig.from_dict(
+            {k: v for k, v in data.items() if k in hardware_keys}
+        )
         return cls(
-            cell_type=CellType(data["cell_type"]),
-            vprech=float(data["vprech"]),
+            hardware=hardware,
             sample_images=int(data["sample_images"]),
             engine=str(data["engine"]),
             quality=str(data["quality"]),
-            seed=int(data["seed"]),
         )
 
 
@@ -103,10 +180,10 @@ class SweepSpec:
     """Cartesian grid over the ESAM design axes.
 
     Axes: SRAM cell option (or equivalently read-port count), read-port
-    precharge voltage, cycle-accurate sample size and simulation
-    engine.  ``expand()`` produces the grid in deterministic
-    lexicographic order (cells outermost), so sweep output files are
-    stable across runs and machines.
+    precharge voltage, technology node, process corner, cycle-accurate
+    sample size and simulation engine.  ``expand()`` produces the grid
+    in deterministic lexicographic order (cells outermost), so sweep
+    output files are stable across runs and machines.
     """
 
     name: str
@@ -114,6 +191,8 @@ class SweepSpec:
     vprechs: tuple[float, ...] = (0.500,)
     sample_images: tuple[int, ...] = (64,)
     engines: tuple[str, ...] = ("fast",)
+    nodes: tuple[str, ...] = (DEFAULT_NODE,)
+    corners: tuple[str, ...] = (DEFAULT_CORNER,)
     quality: str = "full"
     seed: int = 42
 
@@ -125,6 +204,8 @@ class SweepSpec:
             ("vprechs", self.vprechs),
             ("sample_images", self.sample_images),
             ("engines", self.engines),
+            ("nodes", self.nodes),
+            ("corners", self.corners),
         ):
             if not values:
                 raise ConfigurationError(f"sweep axis {axis} is empty")
@@ -140,18 +221,20 @@ class SweepSpec:
         """All design points of the grid, in deterministic order."""
         return [
             DesignPoint(
-                cell_type=cell, vprech=vprech, sample_images=n,
-                engine=engine, quality=self.quality, seed=self.seed,
+                cell_type=cell, vprech=vprech, node=node, corner=corner,
+                sample_images=n, engine=engine, quality=self.quality,
+                seed=self.seed,
             )
-            for cell, vprech, n, engine in itertools.product(
-                self.cell_types, self.vprechs, self.sample_images,
-                self.engines,
+            for cell, vprech, node, corner, n, engine in itertools.product(
+                self.cell_types, self.vprechs, self.nodes, self.corners,
+                self.sample_images, self.engines,
             )
         ]
 
     def __len__(self) -> int:
-        return (len(self.cell_types) * len(self.vprechs)
-                * len(self.sample_images) * len(self.engines))
+        return (len(self.cell_types) * len(self.vprechs) * len(self.nodes)
+                * len(self.corners) * len(self.sample_images)
+                * len(self.engines))
 
 
 # -- named sweeps -------------------------------------------------------------------
@@ -159,41 +242,71 @@ class SweepSpec:
 
 def figure8_spec(sample_images: int = 64, quality: str = "full",
                  seed: int = 42, vprech: float = 0.500,
-                 engine: str = "fast") -> SweepSpec:
+                 engine: str = "fast", node: str = DEFAULT_NODE,
+                 corner: str = DEFAULT_CORNER) -> SweepSpec:
     """Figure 8's x-axis: the five SRAM cell options."""
     return SweepSpec(
         name="figure8", cell_types=ALL_CELLS, vprechs=(vprech,),
         sample_images=(sample_images,), engines=(engine,),
+        nodes=(node,), corners=(corner,),
         quality=quality, seed=seed,
     )
 
 
 def vprech_spec(sample_images: int = 64, quality: str = "full",
                 seed: int = 42,
-                vprechs: Sequence[float] = VPRECH_GRID) -> SweepSpec:
+                vprechs: Sequence[float] = VPRECH_GRID,
+                node: str = DEFAULT_NODE,
+                corner: str = DEFAULT_CORNER) -> SweepSpec:
     """System-level Vprech ablation on the selected 1RW+4R cell."""
     return SweepSpec(
         name="vprech", cell_types=(CellType.C1RW4R,),
         vprechs=tuple(vprechs), sample_images=(sample_images,),
+        nodes=(node,), corners=(corner,),
         quality=quality, seed=seed,
     )
 
 
 def ports_spec(sample_images: int = 64, quality: str = "full",
-               seed: int = 42) -> SweepSpec:
+               seed: int = 42, vprech: float = 0.500,
+               node: str = DEFAULT_NODE,
+               corner: str = DEFAULT_CORNER) -> SweepSpec:
     """Port-count design space (the multiport cells, 1 to 4 ports)."""
     return SweepSpec.over_ports(
-        (1, 2, 3, 4), sample_images=(sample_images,),
+        (1, 2, 3, 4), vprechs=(vprech,), sample_images=(sample_images,),
+        nodes=(node,), corners=(corner,),
         quality=quality, seed=seed,
     )
 
 
 def engines_spec(sample_images: int = 64, quality: str = "full",
-                 seed: int = 42) -> SweepSpec:
+                 seed: int = 42, vprech: float = 0.500,
+                 node: str = DEFAULT_NODE,
+                 corner: str = DEFAULT_CORNER) -> SweepSpec:
     """Fast-vs-cycle audit grid on the selected design point."""
     return SweepSpec(
         name="engines", cell_types=(CellType.C1RW4R,),
-        sample_images=(sample_images,), engines=("fast", "cycle"),
+        vprechs=(vprech,), sample_images=(sample_images,),
+        engines=("fast", "cycle"), nodes=(node,), corners=(corner,),
+        quality=quality, seed=seed,
+    )
+
+
+def corners_spec(sample_images: int = 64, quality: str = "full",
+                 seed: int = 42, vprech: float = 0.500,
+                 nodes: Sequence[str] = CORNER_SWEEP_NODES,
+                 corners: Sequence[str] = CORNER_SWEEP_CORNERS) -> SweepSpec:
+    """Node x corner grid: the Table-1 guardband axes, end to end.
+
+    Walks the 6T baseline and the selected 1RW+4R cell across the node
+    and corner registries, so the paper's headline comparison can be
+    re-derived at every corner (and ``--claims`` works on the result).
+    """
+    return SweepSpec(
+        name="corners",
+        cell_types=(CellType.C6T, CellType.C1RW4R),
+        vprechs=(vprech,), sample_images=(sample_images,),
+        nodes=tuple(nodes), corners=tuple(corners),
         quality=quality, seed=seed,
     )
 
@@ -204,4 +317,5 @@ NAMED_SWEEPS = {
     "vprech": vprech_spec,
     "ports": ports_spec,
     "engines": engines_spec,
+    "corners": corners_spec,
 }

@@ -17,6 +17,8 @@ from dataclasses import asdict, dataclass, field
 
 from repro.errors import ConfigurationError
 from repro.sram.bitcell import CellType
+from repro.tech.constants import DEFAULT_NODE
+from repro.tech.corners import DEFAULT_CORNER
 from repro.system.energy import SystemMetrics
 from repro.system.evaluate import Figure8Row, HeadlineClaims, claims_from_rows
 from repro.system.report import render_table
@@ -57,6 +59,10 @@ class SweepRow:
         """Single-level dict for CSV export: point + metrics + derived."""
         fig = self.to_figure8_row()
         flat = dict(self.point.to_dict())
+        # CSV-friendly forms, and keep the config's clock *override*
+        # distinct from the measured clock_period_ns metric below.
+        flat["layer_sizes"] = ":".join(str(s) for s in flat["layer_sizes"])
+        flat["clock_override_ns"] = flat.pop("clock_period_ns")
         flat.update(asdict(self.metrics))
         flat.pop("cell_type_label", None)  # duplicate of point cell_type
         flat.update(
@@ -112,14 +118,50 @@ class SweepResult:
         """Last row per precharge voltage (the Vprech-ablation lookup)."""
         return {row.point.vprech: row for row in self.rows}
 
-    def headline_claims(self, accuracy: float = float("nan")) -> HeadlineClaims:
+    def by_corner(self) -> dict[tuple[str, str], SweepRow]:
+        """Last row per ``(node, corner)`` pair (the guardband lookup)."""
+        return {(row.point.node, row.point.corner): row for row in self.rows}
+
+    def claims_group(self) -> tuple[str, str]:
+        """The ``(node, corner)`` group :meth:`headline_claims` reads.
+
+        On a homogeneous sweep that is the only group present; on a
+        node/corner grid (the ``corners`` sweep) claims are only
+        meaningful within one group, so the paper's nominal
+        ``("3nm", "typical")`` pair is preferred when present,
+        otherwise the first group in row order.
+        """
+        if not self.rows:
+            raise ConfigurationError("no sweep rows")
+        groups = [(r.point.node, r.point.corner) for r in self.rows]
+        nominal = (DEFAULT_NODE, DEFAULT_CORNER)
+        if nominal in groups:
+            return nominal
+        return groups[0]
+
+    def headline_claims(self, accuracy: float = float("nan"),
+                        node: str | None = None,
+                        corner: str | None = None) -> HeadlineClaims:
         """Recompute the abstract's claims from (possibly cached) rows.
 
         ``accuracy`` is supplied separately because sweep rows hold only
         hardware metrics; pass the functional-model test accuracy when
-        known.
+        known.  Claims are always derived within exactly one
+        ``(node, corner)`` group: by default :meth:`claims_group`; a
+        partially-specified override fills the missing half with the
+        nominal default, never by mixing corners.
         """
-        return claims_from_rows(self.figure8_rows(), accuracy)
+        if node is None and corner is None:
+            node, corner = self.claims_group()
+        elif node is None:
+            node = DEFAULT_NODE
+        elif corner is None:
+            corner = DEFAULT_CORNER
+        rows = [
+            r.to_figure8_row() for r in self.rows
+            if r.point.node == node and r.point.corner == corner
+        ]
+        return claims_from_rows(rows, accuracy)
 
     def render(self) -> str:
         """Generic fixed-width table over every sweep axis and metric."""
@@ -127,6 +169,8 @@ class SweepResult:
             [
                 r.point.cell_type.value,
                 f"{r.point.vprech * 1e3:.0f}",
+                r.point.node,
+                r.point.corner,
                 str(r.point.sample_images),
                 r.point.engine,
                 f"{f.throughput_minf_s:.1f}",
@@ -139,7 +183,7 @@ class SweepResult:
             for f in (r.to_figure8_row(),)
         ]
         return render_table(
-            ["cell", "Vprech [mV]", "images", "engine",
+            ["cell", "Vprech [mV]", "node", "corner", "images", "engine",
              "throughput [MInf/s]", "energy [pJ/Inf]", "power [mW]",
              "area [10^-3 mm^2]", "cache"],
             table_rows,

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.hw.config import HardwareConfig
 from repro.learning.convert import ConvertedSNN
 from repro.learning.pretrained import get_reference_model
 from repro.sram.bitcell import CellType
@@ -125,33 +126,64 @@ class SystemEvaluator:
 
     # -- single design point ------------------------------------------------------
 
-    def build_network(self, cell_type: CellType,
-                      vprech: float | None = None) -> EsamNetwork:
+    def _hardware_for(self, cell_type: CellType, vprech: float | None,
+                      node: str | None, corner: str | None) -> HardwareConfig:
+        """This evaluator's hardware descriptor with per-call overrides."""
+        return self.config.hardware.replace(
+            cell_type=cell_type,
+            vprech=self.config.vprech if vprech is None else vprech,
+            node=self.config.node if node is None else node,
+            corner=self.config.corner if corner is None else corner,
+        )
+
+    def build_network(self, cell_type: CellType | None = None,
+                      vprech: float | None = None,
+                      node: str | None = None,
+                      corner: str | None = None,
+                      hardware: HardwareConfig | None = None) -> EsamNetwork:
+        if hardware is None:
+            if cell_type is None:
+                raise ConfigurationError(
+                    "build_network needs a cell_type or a hardware config"
+                )
+            hardware = self._hardware_for(cell_type, vprech, node, corner)
         return EsamNetwork(
             self._snn.weights,
             self._snn.thresholds,
             output_bias=self._snn.output_bias,
-            cell_type=cell_type,
-            vprech=self.config.vprech if vprech is None else vprech,
+            config=hardware,
         )
 
-    def evaluate_cell(self, cell_type: CellType,
+    def evaluate_cell(self, cell_type: CellType | None = None,
                       vprech: float | None = None,
-                      engine: str = "fast") -> Figure8Row:
+                      engine: str = "fast",
+                      node: str | None = None,
+                      corner: str | None = None,
+                      hardware: HardwareConfig | None = None) -> Figure8Row:
         """Hardware-accurate evaluation of one cell option.
 
         Uses the schedule-based batched engine by default (identical
         traces and energies to ``engine="cycle"``, orders of magnitude
-        faster for the sweep).
+        faster for the sweep).  ``node``/``corner`` default to the
+        evaluator's configuration (the paper's 3nm node at the typical
+        corner).  A full ``hardware`` descriptor overrides everything
+        else — the sweep runner uses this so a point's clock override
+        (or any future hardware field) cannot be silently dropped.
         """
         # Fail on an unknown engine before building the network, not
         # deep inside the inference call stack.
         validate_engine(engine)
-        network = self.build_network(cell_type, vprech)
+        if hardware is None:
+            if cell_type is None:
+                raise ConfigurationError(
+                    "evaluate_cell needs a cell_type or a hardware config"
+                )
+            hardware = self._hardware_for(cell_type, vprech, node, corner)
+        network = self.build_network(hardware=hardware)
         trace = InferenceTrace()
         network.infer_batch(self._spikes, trace, engine=engine)
         metrics = SystemEnergyModel(network).metrics(trace)
-        return Figure8Row(cell_type=cell_type, metrics=metrics)
+        return Figure8Row(cell_type=hardware.cell_type, metrics=metrics)
 
     # -- the full figure -----------------------------------------------------------
 
@@ -172,6 +204,8 @@ class SystemEvaluator:
             quality=self.quality,
             seed=self.config.seed,
             vprech=self.config.vprech,
+            node=self.config.node,
+            corner=self.config.corner,
         )
         runner = SweepRunner(spec, cache=None, evaluator=self)
         return runner.run().figure8_rows()

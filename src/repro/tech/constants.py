@@ -79,6 +79,65 @@ IMEC_3NM = TechnologyNode(
     sram_6t_height_um=0.112,
 )
 
+#: Trailing-edge reference node (5nm-class FinFET, ~0.021 um^2 6T cell,
+#: nominal VDD 750 mV).  Structural figures follow public 5nm DTCO data;
+#: the analytical models rescale their geometric inputs from these, while
+#: the Table-2 pipeline calibration anchors remain the 3nm values.
+IMEC_5NM = TechnologyNode(
+    name="imec-5nm-finfet",
+    vdd=0.750,
+    contacted_poly_pitch_um=0.051,
+    fin_pitch_um=0.028,
+    metal_pitch_um=0.030,
+    sram_6t_area_um2=0.021,
+    sram_6t_width_um=0.150,
+    sram_6t_height_um=0.140,
+    temperature_c=25.0,
+)
+
+#: Forward-scaled node (2nm-class nanosheet, projected 0.0126 um^2 6T
+#: cell, VDD 650 mV).  As with the 5nm entry, this is a *structural*
+#: what-if axis for design-space sweeps, not a silicon-calibrated point.
+IMEC_2NM = TechnologyNode(
+    name="imec-2nm-nanosheet",
+    vdd=0.650,
+    contacted_poly_pitch_um=0.042,
+    fin_pitch_um=0.021,
+    metal_pitch_um=0.021,
+    sram_6t_area_um2=0.0126,
+    sram_6t_width_um=0.120,
+    sram_6t_height_um=0.105,
+    temperature_c=25.0,
+)
+
+#: Node registry keyed by the short names the config/CLI layer uses
+#: (``HardwareConfig.node``, ``--node``).  "3nm" is the paper's node and
+#: the default everywhere.
+TECHNOLOGY_NODES: dict[str, TechnologyNode] = {
+    "3nm": IMEC_3NM,
+    "5nm": IMEC_5NM,
+    "2nm": IMEC_2NM,
+}
+
+#: The default node key (the paper's imec 3nm FinFET node).
+DEFAULT_NODE = "3nm"
+
+
+def resolve_node(node: str) -> TechnologyNode:
+    """Look up a technology node by its registry key.
+
+    The registry keys (not the descriptive ``TechnologyNode.name``
+    strings) are the sweep/CLI vocabulary, so an unknown key lists the
+    valid choices.
+    """
+    try:
+        return TECHNOLOGY_NODES[node]
+    except KeyError:
+        known = ", ".join(sorted(TECHNOLOGY_NODES))
+        raise ConfigurationError(
+            f"unknown technology node {node!r} (known: {known})"
+        ) from None
+
 
 @dataclass(frozen=True)
 class SupplySpec:

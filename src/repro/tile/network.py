@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.hw.config import HardwareConfig
 from repro.sram.bitcell import CellType
 from repro.sram.electrical import TransposedPortModel
 from repro.sram.readport import ReadPortModel
@@ -133,7 +134,8 @@ class EsamNetwork:
     def __init__(self, weights: list[np.ndarray], thresholds: list[np.ndarray],
                  output_bias: np.ndarray | None = None,
                  cell_type: CellType = CellType.C1RW4R,
-                 vprech: float = 0.500) -> None:
+                 vprech: float = 0.500,
+                 config: HardwareConfig | None = None) -> None:
         if not weights:
             raise ConfigurationError("at least one layer is required")
         if len(weights) != len(thresholds):
@@ -147,15 +149,23 @@ class EsamNetwork:
                     f"layer {k} output width {weights[k].shape[1]} != "
                     f"layer {k + 1} input width {weights[k + 1].shape[0]}"
                 )
-        self.cell_type = cell_type
-        self.vprech = vprech
+        if config is None:
+            # Legacy kwarg shim (deprecated, kept for one release).
+            config = HardwareConfig(cell_type=cell_type, vprech=vprech)
+        # The descriptor records the topology actually instantiated.
+        actual_sizes = (weights[0].shape[0],) + tuple(w.shape[1] for w in weights)
+        if config.layer_sizes != actual_sizes:
+            config = config.replace(layer_sizes=actual_sizes)
+        self.config = config
+        self._corner = config.corner_spec
+        node = config.technology
         # Shared electrical models across every macro in the system.
-        self._read_port_model = ReadPortModel(ARRAY_DIM, ARRAY_DIM)
-        self._transposed_model = TransposedPortModel(ARRAY_DIM, ARRAY_DIM)
+        self._read_port_model = ReadPortModel(ARRAY_DIM, ARRAY_DIM, node)
+        self._transposed_model = TransposedPortModel(ARRAY_DIM, ARRAY_DIM, node)
         self.pipeline = PipelineModel(ARRAY_DIM, ARRAY_DIM, self._read_port_model)
         self.tiles = [
             Tile(
-                w, t, cell_type=cell_type, vprech=vprech,
+                w, t, config=config,
                 read_port_model=self._read_port_model,
                 transposed_model=self._transposed_model,
                 name=f"tile{k}",
@@ -176,6 +186,14 @@ class EsamNetwork:
     # -- structure ------------------------------------------------------------------
 
     @property
+    def cell_type(self) -> CellType:
+        return self.config.cell_type
+
+    @property
+    def vprech(self) -> float:
+        return self.config.vprech
+
+    @property
     def layer_sizes(self) -> list[int]:
         return [self.tiles[0].n_in] + [t.n_out for t in self.tiles]
 
@@ -191,7 +209,18 @@ class EsamNetwork:
 
     @property
     def clock_period_ns(self) -> float:
-        return self.pipeline.clock_period_ns(self.cell_type)
+        """Effective clock period at this config's node and corner.
+
+        Derived from the pipeline model unless the config pins an
+        explicit override; the corner's delay derate (1.0 at typical,
+        so nominal results are bit-identical to the corner-unaware
+        model) applies on top either way.
+        """
+        if self.config.clock_period_ns is not None:
+            base = self.config.clock_period_ns
+        else:
+            base = self.pipeline.clock_period_ns(self.cell_type)
+        return base * self._corner.delay_factor
 
     @property
     def cycle_stretch(self) -> int:
@@ -318,7 +347,10 @@ class EsamNetwork:
         return sum(t.dynamic_energy_pj() for t in self.tiles)
 
     def leakage_power_mw(self) -> float:
-        return sum(t.leakage_power_mw() for t in self.tiles)
+        """Macro leakage, scaled by the corner's Vt-shift factor (1.0
+        at the typical corner)."""
+        typical = sum(t.leakage_power_mw() for t in self.tiles)
+        return typical * self._corner.leakage_factor
 
     def area_um2(self) -> float:
         return sum(t.area_um2() for t in self.tiles)

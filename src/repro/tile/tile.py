@@ -27,6 +27,7 @@ import numpy as np
 from repro.arbiter.analysis import arbiter_energy_per_cycle_pj
 from repro.arbiter.cascaded import MultiPortArbiter
 from repro.errors import ConfigurationError, SimulationError
+from repro.hw.config import HardwareConfig
 from repro.neuron.array import NeuronArray
 from repro.sram.bitcell import CellType
 from repro.sram.macro import SramMacro
@@ -58,7 +59,8 @@ class Tile:
                  cell_type: CellType = CellType.C1RW4R, vprech: float = 0.500,
                  read_port_model: ReadPortModel | None = None,
                  transposed_model: TransposedPortModel | None = None,
-                 name: str = "tile") -> None:
+                 name: str = "tile",
+                 config: HardwareConfig | None = None) -> None:
         weights = np.asarray(weights)
         thresholds = np.asarray(thresholds)
         if weights.ndim != 2:
@@ -67,15 +69,24 @@ class Tile:
             raise ConfigurationError(
                 f"thresholds shape {thresholds.shape} != ({weights.shape[1]},)"
             )
+        if config is None:
+            # Legacy kwarg shim (deprecated, kept for one release): the
+            # loose (cell_type, vprech) pair describes the paper's node
+            # at the typical corner.
+            config = HardwareConfig(cell_type=cell_type, vprech=vprech)
+        self.config = config
+        node = config.technology
         self.name = name
-        self.cell_type = cell_type
-        self.vprech = vprech
+        self.cell_type = config.cell_type
+        self.vprech = config.vprech
         self.n_in, self.n_out = weights.shape
         self.mapping = LayerMapping(self.n_in, self.n_out)
-        self.ports = cell_type.inference_ports
+        self.ports = self.cell_type.inference_ports
         # Shared electrical models (one instance across all macros).
-        read_ports = read_port_model or ReadPortModel(ARRAY_DIM, ARRAY_DIM)
-        transposed = transposed_model or TransposedPortModel(ARRAY_DIM, ARRAY_DIM)
+        read_ports = read_port_model or ReadPortModel(ARRAY_DIM, ARRAY_DIM, node)
+        transposed = transposed_model or TransposedPortModel(
+            ARRAY_DIM, ARRAY_DIM, node
+        )
         self._read_port_model = read_ports
         self._transposed_model = transposed
         # Arbiters: one per row block.
@@ -89,7 +100,7 @@ class Tile:
             row = []
             for cb in range(self.mapping.col_blocks):
                 macro = SramMacro(
-                    cell_type, ARRAY_DIM, ARRAY_DIM, vprech,
+                    rows=ARRAY_DIM, cols=ARRAY_DIM, config=config,
                     read_port_model=read_ports, transposed_model=transposed,
                 )
                 macro.load_weights(self.mapping.block_weights(weights, rb, cb))

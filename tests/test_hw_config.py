@@ -1,0 +1,323 @@
+"""The hardware description layer: HardwareConfig and its threading.
+
+Covers the satellite contracts of the config refactor: lossless
+``to_dict``/``from_dict`` round-trips across every cell/node/corner,
+hashability and value equality, the single shared Vprech validator, the
+golden sweep-cache-key pin (so future refactors cannot silently
+invalidate on-disk caches), and the corner/node threading through the
+macro -> tile -> network stack.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import HardwareConfig, paper_point, validate_vprech
+from repro.errors import ConfigurationError
+from repro.hw.cli import add_hardware_arguments, hardware_from_args
+from repro.hw.config import PAPER_LAYER_SIZES, PRESETS
+from repro.sram.bitcell import ALL_CELLS, CellType
+from repro.sram.macro import SramMacro
+from repro.tech.constants import IMEC_3NM, IMEC_5NM, TECHNOLOGY_NODES
+from repro.tech.corners import PROCESS_CORNERS
+from repro.tile.network import EsamNetwork
+
+#: Pinned SHA-256 of the paper design point's sweep-cache key under an
+#: all-'f' weights fingerprint.  If this changes, every on-disk sweep
+#: cache in the wild silently invalidates — bump CACHE_VERSION and this
+#: constant together, deliberately.
+GOLDEN_PAPER_POINT_KEY = (
+    "40eb30496fe3ca9a37a825af5464ffc19c6d366b6020c3845f89b86d57abec47"
+)
+
+
+def tiny_network(config: HardwareConfig) -> EsamNetwork:
+    import numpy as np
+
+    weights = [np.eye(8, dtype=np.uint8)]
+    thresholds = [np.zeros(8)]
+    return EsamNetwork(weights, thresholds, config=config)
+
+
+class TestValidation:
+    def test_defaults_are_the_paper_point(self):
+        config = HardwareConfig()
+        assert config.cell_type is CellType.C1RW4R
+        assert config.vprech == 0.500
+        assert config.node == "3nm"
+        assert config.corner == "typical"
+        assert config.layer_sizes == PAPER_LAYER_SIZES
+        assert config.clock_period_ns is None
+        assert config.seed == 42
+        assert config == paper_point()
+
+    def test_vprech_validator_is_shared_and_single(self):
+        with pytest.raises(ConfigurationError, match="vprech out of range"):
+            validate_vprech(0.9)
+        with pytest.raises(ConfigurationError, match="vprech out of range"):
+            HardwareConfig(vprech=0.9)
+        # Against an explicit supply: 0.72 is legal on the 750 mV node
+        # but out of range on the paper's 700 mV node.
+        assert validate_vprech(0.72, IMEC_5NM.vdd) == 0.72
+        assert HardwareConfig(vprech=0.72, node="5nm").vprech == 0.72
+        with pytest.raises(ConfigurationError, match="vprech out of range"):
+            HardwareConfig(vprech=0.72, node="3nm")
+
+    def test_rejects_unknown_node_and_corner(self):
+        with pytest.raises(ConfigurationError, match="node"):
+            HardwareConfig(node="7nm")
+        with pytest.raises(ConfigurationError, match="corner"):
+            HardwareConfig(corner="blazing")
+
+    def test_rejects_bad_cell_layer_sizes_clock_seed(self):
+        with pytest.raises(ConfigurationError, match="cell_type"):
+            HardwareConfig(cell_type="1RW+4R")
+        with pytest.raises(ConfigurationError, match="layer"):
+            HardwareConfig(layer_sizes=(128,))
+        with pytest.raises(ConfigurationError, match="layer"):
+            HardwareConfig(layer_sizes=(128, 0))
+        with pytest.raises(ConfigurationError, match="clock_period_ns"):
+            HardwareConfig(clock_period_ns=0.0)
+        with pytest.raises(ConfigurationError, match="seed"):
+            HardwareConfig(seed="forty-two")
+
+    def test_layer_sizes_canonicalized_to_int_tuple(self):
+        config = HardwareConfig(layer_sizes=[16, 8])
+        assert config.layer_sizes == (16, 8)
+        assert all(isinstance(s, int) for s in config.layer_sizes)
+
+
+class TestRoundTripAndHashing:
+    @pytest.mark.parametrize("cell", ALL_CELLS)
+    @pytest.mark.parametrize("node", sorted(TECHNOLOGY_NODES))
+    @pytest.mark.parametrize("corner", sorted(PROCESS_CORNERS))
+    def test_dict_roundtrip_identity(self, cell, node, corner):
+        config = HardwareConfig(
+            cell_type=cell, vprech=0.45, node=node, corner=corner,
+            layer_sizes=(32, 16, 10), seed=7,
+        )
+        restored = HardwareConfig.from_dict(config.to_dict())
+        assert restored == config
+        assert hash(restored) == hash(config)
+        # And via an actual JSON wire format.
+        assert HardwareConfig.from_dict(
+            json.loads(json.dumps(config.to_dict()))
+        ) == config
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            HardwareConfig.from_dict({"cell": "1RW+4R"})
+
+    def test_from_dict_rejects_unknown_cell_name(self):
+        with pytest.raises(ConfigurationError, match="cell_type"):
+            HardwareConfig.from_dict({"cell_type": "9T"})
+
+    def test_equality_is_by_value(self):
+        assert HardwareConfig() == HardwareConfig()
+        assert HardwareConfig() != HardwareConfig(corner="slow")
+        assert len({HardwareConfig(), HardwareConfig(),
+                    HardwareConfig(node="5nm")}) == 2
+
+    def test_replace_revalidates(self):
+        with pytest.raises(ConfigurationError, match="vprech"):
+            HardwareConfig().replace(vprech=2.0)
+
+    def test_label_and_repr(self):
+        config = HardwareConfig(node="5nm", corner="slow")
+        assert config.label == "1RW+4R@500mV/5nm/slow"
+        assert "5nm" in repr(config)
+
+    def test_presets(self):
+        assert PRESETS["paper"] == HardwareConfig()
+        for cell in ALL_CELLS:
+            assert PRESETS[f"cell:{cell.value}"].cell_type is cell
+        assert PRESETS["slow-corner"].corner == "slow"
+
+    def test_json_file_loading(self, tmp_path):
+        path = tmp_path / "hw.json"
+        config = HardwareConfig(cell_type=CellType.C1RW1R, corner="fast")
+        path.write_text(json.dumps(config.to_dict()))
+        assert HardwareConfig.from_json(path) == config
+        with pytest.raises(ConfigurationError, match="JSON"):
+            (tmp_path / "bad.json").write_text("{nope")
+            HardwareConfig.from_json(tmp_path / "bad.json")
+        with pytest.raises(ConfigurationError, match="read"):
+            HardwareConfig.from_json(tmp_path / "missing.json")
+
+
+class TestGoldenCacheKey:
+    def test_paper_point_cache_key_is_pinned(self):
+        """Golden key: changing the derivation invalidates on-disk caches."""
+        from repro.sweep import DesignPoint, point_key
+
+        point = DesignPoint(hardware=HardwareConfig())
+        assert point.to_dict() == {
+            "cell_type": "1RW+4R", "vprech": 0.5, "node": "3nm",
+            "corner": "typical", "layer_sizes": [768, 256, 256, 256, 10],
+            "clock_period_ns": None, "sample_images": 64, "engine": "fast",
+            "quality": "full", "seed": 42,
+        }
+        assert point_key(point, "f" * 64) == GOLDEN_PAPER_POINT_KEY
+
+    def test_clock_override_changes_the_key_and_the_evaluation(self):
+        """A clock-pinned point must not alias the nominal point."""
+        from repro.sweep import DesignPoint, point_key
+
+        nominal = DesignPoint(hardware=HardwareConfig())
+        pinned = DesignPoint(hardware=HardwareConfig(clock_period_ns=2.0))
+        assert nominal != pinned
+        assert point_key(nominal, "f" * 64) != point_key(pinned, "f" * 64)
+        assert DesignPoint.from_dict(pinned.to_dict()) == pinned
+
+
+class TestCornerPhysics:
+    def test_typical_corner_is_exactly_neutral(self):
+        typical = PROCESS_CORNERS["typical"]
+        assert typical.delay_factor == 1.0
+        assert typical.leakage_factor == 1.0
+
+    def test_slow_fast_corner_ordering(self):
+        slow = PROCESS_CORNERS["slow"]
+        fast = PROCESS_CORNERS["fast"]
+        assert slow.delay_factor > 1.0 > fast.delay_factor
+        assert slow.leakage_factor < 1.0 < fast.leakage_factor
+
+
+class TestThreading:
+    def test_macro_from_config_matches_legacy_kwargs(self):
+        config = HardwareConfig(cell_type=CellType.C1RW2R, vprech=0.6)
+        via_config = SramMacro.from_config(config, rows=16, cols=16)
+        legacy = SramMacro(CellType.C1RW2R, 16, 16, 0.6)
+        assert via_config.cell_type is legacy.cell_type
+        assert via_config.vprech == legacy.vprech
+        assert via_config.node is legacy.node
+        assert via_config.leakage_power_mw == legacy.leakage_power_mw
+
+    def test_macro_needs_config_or_cell(self):
+        with pytest.raises(ConfigurationError, match="cell_type"):
+            SramMacro(rows=16, cols=16)
+
+    def test_network_records_actual_topology(self):
+        net = tiny_network(HardwareConfig())
+        assert net.config.layer_sizes == (8, 8)
+
+    def test_network_corner_scales_clock_and_leakage(self):
+        base = tiny_network(HardwareConfig())
+        slow = tiny_network(HardwareConfig(corner="slow"))
+        fast = tiny_network(HardwareConfig(corner="fast"))
+        spec = PROCESS_CORNERS["slow"]
+        assert slow.clock_period_ns == pytest.approx(
+            base.clock_period_ns * spec.delay_factor
+        )
+        assert fast.clock_period_ns < base.clock_period_ns
+        assert slow.leakage_power_mw() < base.leakage_power_mw()
+        assert fast.leakage_power_mw() > base.leakage_power_mw()
+
+    def test_network_typical_corner_is_bit_identical_to_legacy(self):
+        import numpy as np
+
+        weights = [np.eye(8, dtype=np.uint8)]
+        thresholds = [np.zeros(8)]
+        legacy = EsamNetwork(weights, thresholds,
+                             cell_type=CellType.C1RW4R, vprech=0.5)
+        config = EsamNetwork(weights, thresholds, config=HardwareConfig())
+        assert legacy.clock_period_ns == config.clock_period_ns
+        assert legacy.leakage_power_mw() == config.leakage_power_mw()
+        assert legacy.area_um2() == config.area_um2()
+
+    def test_clock_override(self):
+        pinned = tiny_network(HardwareConfig(clock_period_ns=2.0))
+        assert pinned.clock_period_ns == 2.0
+        derated = tiny_network(
+            HardwareConfig(clock_period_ns=2.0, corner="slow")
+        )
+        assert derated.clock_period_ns == pytest.approx(
+            2.0 * PROCESS_CORNERS["slow"].delay_factor
+        )
+
+    def test_node_threads_to_the_arrays(self):
+        net_3 = tiny_network(HardwareConfig())
+        net_5 = tiny_network(HardwareConfig(node="5nm"))
+        assert net_3.tiles[0].macros[0][0].node is IMEC_3NM
+        assert net_5.tiles[0].macros[0][0].node is IMEC_5NM
+        # The 5nm 6T footprint is larger, so the macro area must grow.
+        assert net_5.area_um2() > net_3.area_um2()
+
+    def test_system_config_delegates_to_hardware(self):
+        from repro.system.config import SystemConfig
+
+        config = SystemConfig(node="5nm", corner="slow", vprech=0.72)
+        assert config.hardware == HardwareConfig(
+            node="5nm", corner="slow", vprech=0.72,
+        )
+        round_trip = SystemConfig.from_hardware(config.hardware,
+                                                sample_images=64)
+        assert round_trip == config
+        with pytest.raises(ConfigurationError, match="vprech"):
+            SystemConfig(vprech=0.72)  # fine on 5nm, out of range on 3nm
+
+
+class TestSharedCliSurface:
+    def _parse(self, argv, **kwargs):
+        import argparse
+
+        parser = argparse.ArgumentParser()
+        add_hardware_arguments(parser, **kwargs)
+        return parser.parse_args(argv)
+
+    def test_defaults_resolve_to_paper_point(self):
+        args = self._parse([])
+        assert hardware_from_args(args) == HardwareConfig()
+
+    def test_flag_overrides(self):
+        args = self._parse([
+            "--cell", "1RW+2R", "--vprech", "0.6",
+            "--node", "5nm", "--corner", "slow",
+        ])
+        hardware = hardware_from_args(args, seed=7)
+        assert hardware == HardwareConfig(
+            cell_type=CellType.C1RW2R, vprech=0.6, node="5nm",
+            corner="slow", seed=7,
+        )
+
+    def test_cell_choices_come_from_registry(self):
+        with pytest.raises(SystemExit):
+            self._parse(["--cell", "9T"])
+        with pytest.raises(SystemExit):
+            self._parse(["--node", "7nm"])
+        with pytest.raises(SystemExit):
+            self._parse(["--corner", "cryo"])
+
+    def test_config_file_plus_override(self, tmp_path):
+        path = tmp_path / "hw.json"
+        path.write_text(json.dumps(
+            HardwareConfig(cell_type=CellType.C6T, corner="slow",
+                           seed=7).to_dict()
+        ))
+        args = self._parse(["--config", str(path), "--corner", "fast"])
+        hardware = hardware_from_args(args)
+        assert hardware.cell_type is CellType.C6T
+        assert hardware.corner == "fast"
+        # seed=None (flag not given) must not clobber the file's seed.
+        assert hardware_from_args(args, seed=None).seed == 7
+        assert hardware_from_args(args, seed=11).seed == 11
+
+    def test_cell_flag_optional_for_sweep_clis(self):
+        args = self._parse(["--node", "2nm"], cell=False)
+        assert not hasattr(args, "cell")
+        assert hardware_from_args(args).node == "2nm"
+
+
+class TestDesignPointReplace:
+    def test_dataclasses_replace_supports_hardware_fields(self):
+        from repro.sweep import DesignPoint
+
+        base = DesignPoint(cell_type=CellType.C6T, quality="fast")
+        swapped = dataclasses.replace(base, corner="slow", node="5nm")
+        assert swapped.corner == "slow"
+        assert swapped.node == "5nm"
+        assert swapped.cell_type is CellType.C6T
+        assert swapped != base

@@ -1,0 +1,69 @@
+"""Refactor parity: the config path reproduces the pre-refactor seed.
+
+``tests/golden/figure8_fast8.json`` was captured from the repository
+state *before* the ``HardwareConfig`` refactor (PR 4), by evaluating
+``SystemEvaluator(SystemConfig(sample_images=8), quality="fast")`` —
+figure8 rows plus headline claims, stored with full ``repr`` float
+precision.  The refactor threads a frozen descriptor through every
+layer, and at the default point (3nm node, typical corner) that must
+be a pure plumbing change: every metric bit-identical, no tolerance.
+
+If a deliberate modelling change ever breaks this, re-capture the
+golden file in the same commit and say so in the commit message.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+import pytest
+
+from repro.hw.config import HardwareConfig
+from repro.system.config import SystemConfig
+from repro.system.evaluate import SystemEvaluator
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "figure8_fast8.json"
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    with GOLDEN_PATH.open() as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def evaluator(golden) -> SystemEvaluator:
+    config = SystemConfig.from_hardware(
+        HardwareConfig(seed=golden["config"]["seed"]),
+        sample_images=golden["config"]["sample_images"],
+    )
+    return SystemEvaluator(config, quality=golden["config"]["quality"])
+
+
+@pytest.fixture(scope="module")
+def rows(evaluator):
+    return evaluator.figure8()
+
+
+class TestParity:
+    def test_figure8_rows_bit_identical_to_seed(self, golden, rows):
+        assert [r.cell_type.value for r in rows] == [
+            r["cell_type"] for r in golden["rows"]
+        ]
+        for got, want in zip(rows, golden["rows"]):
+            got_metrics = dataclasses.asdict(got.metrics)
+            assert got_metrics == want["metrics"], (
+                f"{want['cell_type']}: refactored metrics diverge from the "
+                "pre-refactor golden capture"
+            )
+
+    def test_headline_claims_bit_identical_to_seed(self, golden, evaluator,
+                                                   rows):
+        claims = dataclasses.asdict(evaluator.headline_claims(rows))
+        want = dict(golden["claims"])
+        # NaN-free comparison: accuracy is checked for exact equality
+        # separately because NaN != NaN.
+        assert claims.pop("accuracy") == want.pop("accuracy")
+        assert claims == want

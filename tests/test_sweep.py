@@ -88,10 +88,46 @@ class TestSpec:
             SweepSpec(name="bad", cell_types=())
 
     def test_named_sweeps_registry(self):
-        assert set(NAMED_SWEEPS) == {"figure8", "vprech", "ports", "engines"}
+        assert set(NAMED_SWEEPS) == {
+            "figure8", "vprech", "ports", "engines", "corners",
+        }
         for factory in NAMED_SWEEPS.values():
             spec = factory(sample_images=4, quality=QUALITY)
             assert len(spec.expand()) == len(spec) > 0
+
+    def test_corners_spec_walks_node_corner_grid(self):
+        spec = NAMED_SWEEPS["corners"](sample_images=4, quality=QUALITY)
+        points = spec.expand()
+        assert len(points) == 2 * 2 * 3  # cells x nodes x corners
+        assert {(p.node, p.corner) for p in points} == {
+            (node, corner)
+            for node in ("3nm", "5nm")
+            for corner in ("typical", "slow", "fast")
+        }
+        # Both claims anchors are present at every (node, corner).
+        assert {p.cell_type for p in points} == {
+            CellType.C6T, CellType.C1RW4R,
+        }
+
+    def test_point_hardware_view(self):
+        from repro.hw import HardwareConfig
+
+        point = DesignPoint(cell_type=CellType.C1RW2R, vprech=0.6,
+                            node="5nm", corner="slow", quality=QUALITY)
+        assert point.hardware == HardwareConfig(
+            cell_type=CellType.C1RW2R, vprech=0.6, node="5nm", corner="slow",
+        )
+        hw = HardwareConfig(cell_type=CellType.C6T, corner="fast", seed=7)
+        from_hw = DesignPoint(hardware=hw, quality=QUALITY)
+        assert from_hw.cell_type is CellType.C6T
+        assert from_hw.corner == "fast"
+        assert from_hw.seed == 7
+
+    def test_point_rejects_unknown_node_and_corner(self):
+        with pytest.raises(ConfigurationError, match="node"):
+            DesignPoint(cell_type=CellType.C6T, node="1nm")
+        with pytest.raises(ConfigurationError, match="corner"):
+            DesignPoint(cell_type=CellType.C6T, corner="cryo")
 
 
 class TestShardingParity:
@@ -205,10 +241,12 @@ class TestCache:
             dataclasses.replace(base, sample_images=16),
             dataclasses.replace(base, engine="cycle"),
             dataclasses.replace(base, seed=7),
+            dataclasses.replace(base, node="5nm"),
+            dataclasses.replace(base, corner="slow"),
         ):
             keys.add(point_key(variant, fp))
         keys.add(point_key(base, "0" * 64))
-        assert len(keys) == 7
+        assert len(keys) == 9
 
     def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -269,6 +307,61 @@ class TestStore:
         assert "small" in text and "eval" in text
 
 
+class TestHardwareFidelity:
+    def test_clock_pinned_point_evaluates_at_the_pinned_clock(self, fast_model):
+        """The clock override must survive the whole evaluation path."""
+        from repro.hw import HardwareConfig
+        from repro.sweep import evaluate_point
+
+        base = DesignPoint(cell_type=CellType.C1RW4R, quality=QUALITY,
+                           sample_images=2)
+        pinned = DesignPoint(
+            hardware=HardwareConfig(clock_period_ns=2.0),
+            quality=QUALITY, sample_images=2,
+        )
+        nominal = evaluate_point(base, fast_model.snn)
+        overridden = evaluate_point(pinned, fast_model.snn)
+        assert overridden.clock_period_ns == 2.0
+        assert nominal.clock_period_ns != overridden.clock_period_ns
+
+    def test_claims_on_corner_grid_use_the_nominal_group(self):
+        """A node/corner grid derives claims at 3nm/typical, not at
+        whichever group happens to sort last."""
+        from repro.sweep.store import SweepRow
+        from repro.system.energy import SystemMetrics
+
+        def metrics(label, t_ns):
+            return SystemMetrics(
+                cell_type_label=label, clock_period_ns=1.0,
+                cycles_per_inference=t_ns, latency_ns=t_ns,
+                inference_time_ns=t_ns, dynamic_energy_pj=100.0,
+                clock_energy_pj=10.0, leakage_energy_pj=10.0,
+                area_um2=1000.0,
+            )
+
+        rows = []
+        # 3nm/typical: 3x speedup; 5nm/fast: 5x speedup.
+        for node, corner, base_t, best_t in (
+            ("3nm", "typical", 30.0, 10.0), ("5nm", "fast", 50.0, 10.0),
+        ):
+            for cell, t in ((CellType.C6T, base_t), (CellType.C1RW4R, best_t)):
+                point = DesignPoint(cell_type=cell, node=node, corner=corner,
+                                    quality=QUALITY)
+                rows.append(SweepRow(point=point,
+                                     metrics=metrics(cell.value, t)))
+        result = SweepResult(spec_name="corners", rows=rows)
+        assert result.claims_group() == ("3nm", "typical")
+        assert result.headline_claims().speedup_vs_1rw == pytest.approx(3.0)
+        assert result.headline_claims(
+            node="5nm", corner="fast"
+        ).speedup_vs_1rw == pytest.approx(5.0)
+        # A partial override fills the missing half with the nominal
+        # default instead of mixing corners: there are no 5nm/typical
+        # rows here, so this must fail loudly, not report 5nm/fast.
+        with pytest.raises(ConfigurationError):
+            result.headline_claims(node="5nm")
+
+
 class TestEarlyEngineValidation:
     def test_evaluate_cell_rejects_unknown_engine_before_simulation(
             self, fast_model):
@@ -300,6 +393,42 @@ class TestCli:
         assert "sweep 'vprech'" in out
         loaded = SweepResult.from_json(tmp_path / "v.json")
         assert len(loaded.rows) == 4
+
+    def test_corner_flags_narrow_the_corners_sweep(self, tmp_path, capsys):
+        """Explicit --node/--corner restrict the swept grid rather than
+        being silently dropped."""
+        code = sweep_main([
+            "corners", "--sample-images", "2", "--quality", QUALITY,
+            "--node", "3nm", "--corner", "slow",
+            "--cache-dir", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(2 evaluated" in out
+        assert "slow" in out
+        assert "5nm" not in out
+        assert "typical" not in out
+
+    def test_config_file_pin_narrows_the_corners_sweep(self, tmp_path, capsys):
+        """A value pinned via --config narrows a swept axis exactly like
+        the explicit flag does."""
+        import json
+
+        from repro.hw import HardwareConfig
+
+        cfg = tmp_path / "hw.json"
+        cfg.write_text(json.dumps(HardwareConfig(corner="slow").to_dict()))
+        code = sweep_main([
+            "corners", "--sample-images", "2", "--quality", QUALITY,
+            "--node", "3nm", "--config", str(cfg),
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        # --node flag + --config corner pin: 2 cells x 1 node x 1 corner.
+        assert "(2 evaluated" in out
+        assert "| slow" in out
+        assert "| typical" not in out
 
     def test_claims_on_non_figure8_sweep_fails_cleanly(self, tmp_path, capsys):
         code = sweep_main([
