@@ -1,43 +1,64 @@
 """Extension — soft-error robustness of the stored binary weights.
 
-Sweeps the weight-bit error rate and reports classification accuracy:
-how much SRAM corruption the always-on edge deployment tolerates before
-retraining/refresh is needed.
+Runs the Monte-Carlo fault campaign (:mod:`repro.reliability`) on the
+paper's selected design point: how much SRAM corruption the always-on
+edge deployment tolerates before retraining/refresh is needed, plus
+the corner-folded parametric read-timing yield.  Emits
+``BENCH_reliability.json`` (schema documented in ``PAPER.md``) via the
+shared ``bench_report`` fixture.
 """
+
+import pathlib
 
 import pytest
 
-from repro.snn.encode import encode_images
-from repro.sram.faults import FaultInjector
+from repro.hw.config import HardwareConfig
+from repro.reliability import ReliabilityRunner, reliability_spec
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_reliability.json"
 
 
 @pytest.mark.benchmark(group="extension")
-def test_fault_tolerance_sweep(benchmark, reference_model):
-    injector = FaultInjector(
-        reference_model.snn.weights,
-        reference_model.snn.thresholds,
-        reference_model.snn.output_bias,
+def test_fault_campaign(benchmark, reference_model, bench_report):
+    spec = reliability_spec(
+        trials=2, sample_images=256,
+        bers=(0.0, 1e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.2),
+        corners=("typical", "slow", "fast"),
     )
-    spikes = encode_images(reference_model.dataset.test_images[:600])
-    labels = reference_model.dataset.test_labels[:600]
 
     def run():
-        return injector.sweep(
-            spikes, labels,
-            rates=(0.0, 1e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.2),
-            trials=2,
-        )
+        # cache=None: the benchmark measures evaluation, not cache hits.
+        return ReliabilityRunner(spec, cache=None).run()
 
-    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
     print()
-    print("weight-bit soft-error sweep (330K synapses):")
-    clean = points[0].accuracy
-    for p in points:
-        print(
-            f"  BER {p.bit_error_rate:7.0e}: accuracy {p.accuracy * 100:6.2f}% "
-            f"({p.flipped_bits} flipped bits)"
-        )
+    print(result.render())
+    print(result.render_claims())
+
+    curve = result.claims_curve()
+    clean = curve.clean_accuracy
+    by_ber = dict(zip(curve.bit_error_rates, curve.mean_accuracy))
     # Isolated flips are absorbed; heavy corruption degrades clearly.
-    assert points[1].accuracy > clean - 0.02      # 1e-4
-    assert points[2].accuracy > clean - 0.05      # 1e-3
-    assert points[-1].accuracy < clean - 0.1      # 0.2
+    assert by_ber[1e-4] > clean - 0.02
+    assert by_ber[1e-3] > clean - 0.05
+    assert by_ber[0.2] < clean - 0.1
+    # The accuracy floor sits strictly inside the tested range.
+    floor = curve.accuracy_floor_ber()
+    assert 0.0 < floor < 0.2
+    # Timing yield at the shipped clock is the designed ~Phi(3).
+    typical = result.curve_for(curve.cell_type, curve.node, "typical")
+    assert typical.timing_yield > 0.99
+
+    bench_report(
+        BENCH_PATH,
+        {
+            "campaign": result.spec_name,
+            "trials": spec.trials,
+            "sample_images": spec.sample_images,
+            "bit_error_rates": list(spec.bit_error_rates),
+            "clean_accuracy": clean,
+            "accuracy_floor_ber": floor,
+            "curves": [c.to_dict() for c in result.curves],
+        },
+        HardwareConfig(),
+    )

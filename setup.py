@@ -15,6 +15,7 @@ setup(
         "console_scripts": [
             "repro-sweep=repro.sweep.__main__:main",
             "repro-serve=repro.serve.__main__:main",
+            "repro-reliability=repro.reliability.__main__:main",
         ],
     },
 )

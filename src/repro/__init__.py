@@ -28,10 +28,12 @@ Public API overview
 ``repro.system``
     System-level metrics (Figure 8), SOTA comparison (Table 3) and
     report rendering.
-``repro.sweep`` / ``repro.serve``
-    Design-space sweep engine (sharded, cached grids) and the
-    micro-batching inference-serving subsystem (bounded-queue
-    backpressure, model registry, latency SLO metrics).
+``repro.sweep`` / ``repro.reliability`` / ``repro.serve``
+    Design-space sweep engine (sharded, cached grids), Monte-Carlo
+    fault & variation campaigns (yield curves, accuracy floors,
+    shared result cache), and the micro-batching inference-serving
+    subsystem (bounded-queue backpressure, model registry, latency
+    SLO metrics).
 ``repro.data`` / ``repro.snn``
     Synthetic MNIST-like digits, input encoding and the functional
     binary-SNN reference.

@@ -79,3 +79,36 @@ def hardware_from_args(args: argparse.Namespace, *,
     if seed is not None:
         overrides["seed"] = seed
     return base.replace(**overrides) if overrides else base
+
+
+def narrowed_axes(args: argparse.Namespace, hardware: HardwareConfig,
+                  accepted) -> dict:
+    """Pinned hardware scalars, mapped onto the plural axes a grid
+    factory sweeps.
+
+    Both grid CLIs (``python -m repro.sweep`` and ``python -m
+    repro.reliability``) share the contract that a scalar the user
+    pinned — by flag or via the ``--config`` file — whose axis the
+    named grid sweeps (e.g. ``corners --corner slow``) narrows that
+    axis to the requested value instead of being silently dropped.
+    ``accepted`` is the factory's parameter mapping; a scalar the
+    factory takes directly is never narrowed (it is passed through as
+    the scalar), and axes the factory does not sweep are skipped.
+    Returns ``{plural axis name: (pinned value,)}``.
+    """
+    default = HardwareConfig()
+    narrowed: dict = {}
+    for flag, attr, plural in (
+        ("cell", "cell_type", "cells"),
+        ("vprech", "vprech", "vprechs"),
+        ("node", "node", "nodes"),
+        ("corner", "corner", "corners"),
+    ):
+        if plural not in accepted or flag in accepted:
+            continue
+        value = getattr(hardware, attr)
+        pinned = (getattr(args, flag, None) is not None
+                  or value != getattr(default, attr))
+        if pinned:
+            narrowed[plural] = (value,)
+    return narrowed

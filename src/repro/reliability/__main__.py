@@ -1,0 +1,176 @@
+"""CLI for fault campaigns: ``python -m repro.reliability``.
+
+Examples::
+
+    python -m repro.reliability --list
+    python -m repro.reliability --claims
+    python -m repro.reliability --trials 8 --workers 4 --claims
+    python -m repro.reliability --corner slow --bers 0,1e-3,5e-2
+    python -m repro.reliability cells --out faults.json --csv faults.csv
+
+Hardware scalars come from the same shared config surface as the
+sweep and serving CLIs (``--config`` / ``--cell`` / ``--vprech`` /
+``--node`` / ``--corner``, see :mod:`repro.hw.cli`); a pinned scalar
+narrows the corresponding campaign axis instead of being dropped.
+Campaign entries share the sweep engine's on-disk cache, so warm
+re-runs (and overlaps with earlier campaigns) finish without touching
+the simulator; ``--no-cache`` forces fresh evaluation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+
+from repro.errors import ReproError
+from repro.hw.cli import (
+    add_hardware_arguments,
+    hardware_from_args,
+    narrowed_axes,
+)
+from repro.learning.pretrained import QUALITY_PRESETS
+from repro.reliability.spec import NAMED_CAMPAIGNS
+from repro.reliability.runner import ReliabilityRunner
+from repro.sweep.cache import DEFAULT_CACHE_DIR, ResultCache
+
+
+def _parse_bers(text: str) -> tuple[float, ...]:
+    try:
+        return tuple(float(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--bers expects comma-separated floats, got {text!r}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.reliability",
+        description="Run a Monte-Carlo weight-fault campaign.",
+    )
+    parser.add_argument(
+        "campaign", nargs="?", choices=sorted(NAMED_CAMPAIGNS),
+        default="reliability",
+        help="named campaign to run (default: reliability; see --list)",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list the named campaigns and exit",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for cache misses (default: 1)",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=4, metavar="N",
+        help="Monte-Carlo trials per BER point (default: 4)",
+    )
+    parser.add_argument(
+        "--bers", type=_parse_bers, default=None, metavar="B0,B1,...",
+        help="bit-error-rate axis as comma-separated floats",
+    )
+    parser.add_argument(
+        "--sample-images", type=int, default=64, metavar="N",
+        help="images classified per trial (default: 64)",
+    )
+    parser.add_argument(
+        "--quality", choices=QUALITY_PRESETS, default="full",
+        help="reference-model preset (default: full)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="model/mask seed (default: the --config file's seed, else 42)",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", help="write the result as JSON",
+    )
+    parser.add_argument(
+        "--csv", metavar="PATH", help="write the result as flat CSV",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="evaluate every point fresh, do not read or write the cache",
+    )
+    parser.add_argument(
+        "--claims", action="store_true",
+        help="also print the degradation claims derived from the curves",
+    )
+    add_hardware_arguments(parser)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in sorted(NAMED_CAMPAIGNS):
+            spec = NAMED_CAMPAIGNS[name]()
+            print(f"{name:12s} {len(spec):3d} points x {spec.trials} trials  "
+                  f"({NAMED_CAMPAIGNS[name].__doc__.splitlines()[0]})")
+        return 0
+
+    try:
+        hardware = hardware_from_args(args, seed=args.seed)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    factory = NAMED_CAMPAIGNS[args.campaign]
+    accepted = inspect.signature(factory).parameters
+    kwargs = {
+        key: value
+        for key, value in (
+            ("trials", args.trials),
+            ("sample_images", args.sample_images),
+            ("quality", args.quality),
+            ("seed", hardware.seed),
+            ("vprech", hardware.vprech),
+        )
+        if key in accepted
+    }
+    if args.bers is not None and "bers" in accepted:
+        kwargs["bers"] = args.bers
+    # A pinned scalar whose axis the factory sweeps narrows that axis
+    # (shared contract with the sweep CLI — see narrowed_axes).
+    kwargs.update(narrowed_axes(args, hardware, accepted))
+
+    try:
+        spec = factory(**kwargs)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    if args.no_cache:
+        cache: ResultCache | None = None
+    else:
+        cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+
+    try:
+        runner = ReliabilityRunner(spec, n_workers=args.workers, cache=cache)
+        result = runner.run()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    print(result.render())
+    if args.claims:
+        print()
+        print(result.render_claims())
+    if args.out:
+        print(f"wrote {result.to_json(args.out)}")
+    if args.csv:
+        print(f"wrote {result.to_csv(args.csv)}")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.exit(0)

@@ -1,0 +1,177 @@
+"""Sharded, cached execution of Monte-Carlo fault campaigns.
+
+The :class:`ReliabilityRunner` reuses the sweep engine's machinery
+wholesale: the same on-disk :class:`~repro.sweep.cache.ResultCache`
+(namespaced by the ``"reliability"`` entry kind), the same
+satisfy-from-cache-then-shard-misses loop
+(:func:`repro.sweep.runner.run_cached_points`) and the same
+process-pool sharding (:func:`repro.sweep.runner.shard_map`) — so
+campaigns inherit the sweep determinism contract: bit-identical
+results for any ``n_workers``, corrupt cache entry == miss, warm
+re-runs finish without touching the simulator.
+
+One fault point evaluates all of its Monte-Carlo trials against a
+single hardware network: each trial loads its self-seeded fault mask
+into the macros (:meth:`~repro.sram.faults.FaultInjector.apply_trial`)
+and classifies the whole image sample in one batched
+``EsamNetwork.infer_batch`` call on the fast engine — the per-cycle
+path is never needed because the engines are proven trace-identical on
+faulted networks (``tests/test_reliability_differential.py``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.learning.pretrained import get_reference_model
+from repro.reliability.spec import FaultCampaignSpec, FaultPoint
+from repro.reliability.store import (
+    CampaignResult,
+    ReliabilityRow,
+    TIMING_YIELD_SAMPLES,
+    build_yield_curves,
+)
+from repro.snn.encode import encode_images
+from repro.sram.faults import FaultInjector
+from repro.sweep.cache import ResultCache, entry_key, weights_fingerprint
+from repro.sweep.runner import run_cached_points, shard_map
+from repro.tile.network import EsamNetwork
+
+#: Per-process memo of encoded evaluation samples, keyed by
+#: ``(quality, seed, sample_images)`` — shared by every point of a
+#: shard the way the sweep runner memoizes evaluators.
+_SAMPLE_MEMO: dict[tuple[str, int, int], tuple] = {}
+
+
+def _evaluation_sample(quality: str, seed: int, sample_images: int):
+    """Encoded spikes + labels of the reference model's test digits."""
+    memo_key = (quality, seed, sample_images)
+    cached = _SAMPLE_MEMO.get(memo_key)
+    if cached is None:
+        reference = get_reference_model(quality, seed)
+        spikes = encode_images(reference.dataset.test_images[:sample_images])
+        labels = reference.dataset.test_labels[:sample_images]
+        cached = (spikes, labels)
+        _SAMPLE_MEMO[memo_key] = cached
+    return cached
+
+
+def evaluate_fault_point(point: FaultPoint,
+                         ) -> tuple[tuple[float, ...], tuple[int, ...]]:
+    """Evaluate one fault point from scratch (no cache involved).
+
+    Returns per-trial ``(accuracies, flipped_bits)``.  This is the
+    function worker processes run, and the single place campaign
+    evaluation semantics are defined: clean reference weights, one
+    hardware network per point, per-trial self-seeded masks, batched
+    classification on the point's engine.
+    """
+    reference = get_reference_model(point.quality, point.seed)
+    spikes, labels = _evaluation_sample(
+        point.quality, point.seed, point.sample_images
+    )
+    injector = FaultInjector(
+        reference.snn.weights, reference.snn.thresholds,
+        reference.snn.output_bias, config=point.hardware,
+    )
+    network = EsamNetwork(
+        reference.snn.weights, reference.snn.thresholds,
+        output_bias=reference.snn.output_bias, config=point.hardware,
+    )
+    accuracies = []
+    flipped = []
+    for trial in point.trial_indices:
+        flips = injector.apply_trial(
+            network, point.bit_error_rate, trial
+        )
+        predictions = network.classify_batch(spikes, engine=point.engine)
+        accuracies.append(float((predictions == labels).mean()))
+        flipped.append(int(flips))
+    return tuple(accuracies), tuple(flipped)
+
+
+def _evaluate_task(point: FaultPoint):
+    """Module-level worker entry point (must be picklable)."""
+    return evaluate_fault_point(point)
+
+
+class ReliabilityRunner:
+    """Shards a campaign's fault points across workers, with caching.
+
+    Parameters
+    ----------
+    spec:
+        The campaign grid to evaluate.
+    n_workers:
+        ``1`` (default) evaluates in-process; ``>1`` shards cache
+        misses across that many worker processes.
+    cache:
+        A :class:`ResultCache`, ``True`` for the shared default
+        on-disk cache (the *same* directory the sweep engine uses —
+        entry kinds keep the families apart), or ``None``/``False``
+        to disable caching.
+    mc_samples:
+        Monte-Carlo sample count behind each curve's timing yield.
+    """
+
+    def __init__(self, spec: FaultCampaignSpec, *, n_workers: int = 1,
+                 cache: ResultCache | bool | None = True,
+                 mc_samples: int = TIMING_YIELD_SAMPLES) -> None:
+        if n_workers < 1:
+            raise ConfigurationError(
+                f"n_workers must be >= 1, got {n_workers}"
+            )
+        if mc_samples < 1:
+            raise ConfigurationError("mc_samples must be >= 1")
+        self.spec = spec
+        self.n_workers = n_workers
+        if cache is True:
+            self.cache: ResultCache | None = ResultCache()
+        elif cache is False or cache is None:
+            self.cache = None
+        else:
+            self.cache = cache
+        self.mc_samples = mc_samples
+
+    def _evaluate_misses(self,
+                         points: list[FaultPoint]) -> list[ReliabilityRow]:
+        if not points:
+            return []
+        if self.n_workers > 1:
+            # Pre-warm the trained-model disk cache in the parent so
+            # spawned workers load instead of re-training.
+            for model_key in {(p.quality, p.seed) for p in points}:
+                get_reference_model(*model_key)
+        outcomes = shard_map(_evaluate_task, points, self.n_workers)
+        return [
+            ReliabilityRow(
+                point=point, accuracies=accuracies, flipped_bits=flips,
+                cached=False,
+            )
+            for point, (accuracies, flips) in zip(points, outcomes)
+        ]
+
+    def run(self) -> CampaignResult:
+        """Evaluate the campaign; rows follow the spec's expansion order."""
+        points = self.spec.expand()
+        if self.cache is not None:
+            reference = get_reference_model(self.spec.quality, self.spec.seed)
+            fingerprint = weights_fingerprint(reference.snn)
+            key_fn = lambda point: entry_key(  # noqa: E731
+                "reliability", point.to_dict(), fingerprint
+            )
+        else:
+            key_fn = None
+        rows, stats = run_cached_points(
+            points,
+            cache=self.cache,
+            key_fn=key_fn,
+            load_row=lambda data: ReliabilityRow.from_dict(data, cached=True),
+            dump_row=lambda row: row.to_dict(),
+            evaluate=self._evaluate_misses,
+        )
+        curves = build_yield_curves(
+            rows, mc_seed=self.spec.seed, mc_samples=self.mc_samples
+        )
+        return CampaignResult(
+            spec_name=self.spec.name, rows=rows, curves=curves, stats=stats
+        )

@@ -21,6 +21,7 @@ Hot swap comes in two flavours:
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from dataclasses import dataclass
 
@@ -38,6 +39,14 @@ class RegisteredModel:
     name: str
     network: EsamNetwork
     point: DesignPoint | None = None
+    #: Measured accuracy-floor BER from a reliability campaign
+    #: (:meth:`ModelRegistry.attach_reliability`); ``None`` until a
+    #: campaign result is attached.
+    accuracy_floor_ber: float | None = None
+    #: The per-tile weight versions the floor was measured at; an
+    #: in-place hot-swap (online learning, fault injection) bumps the
+    #: live versions past these and retires the measurement.
+    reliability_weight_versions: tuple[int, ...] | None = None
 
     def describe(self) -> dict:
         """JSON-ready summary (CLI ``--list-models``, metrics export)."""
@@ -52,6 +61,9 @@ class RegisteredModel:
         }
         if self.point is not None:
             out["point"] = self.point.label
+        if (self.accuracy_floor_ber is not None
+                and self.weight_versions == self.reliability_weight_versions):
+            out["accuracy_floor_ber"] = self.accuracy_floor_ber
         return out
 
     @property
@@ -131,6 +143,34 @@ class ModelRegistry:
                 name=name, network=network, point=point
             )
             return old
+
+    def attach_reliability(self, name: str, campaign,
+                           max_drop: float = 0.05) -> float:
+        """Record a model's measured accuracy floor from a campaign.
+
+        ``campaign`` is a :class:`~repro.reliability.store.
+        CampaignResult` (duck-typed on ``accuracy_floor_for`` to keep
+        the serving layer import-free of the reliability package): the
+        floor of the model's own hardware group — cell option, node,
+        corner — is looked up and reported by :meth:`RegisteredModel.
+        describe` from then on.  Raises ``ConfigurationError`` when the
+        campaign never measured that group.  Either hot-swap flavour
+        retires the floor: ``swap()`` replaces the entry outright, and
+        an in-place weight update bumps ``Tile.weight_version`` past
+        the versions recorded here, after which ``describe()`` stops
+        reporting a measurement taken on weights the model no longer
+        serves.
+        """
+        with self._lock:
+            entry = self.entry(name)
+            floor = campaign.accuracy_floor_for(
+                entry.network.config, max_drop=max_drop
+            )
+            self._models[name] = dataclasses.replace(
+                entry, accuracy_floor_ber=floor,
+                reliability_weight_versions=entry.weight_versions,
+            )
+        return floor
 
     # -- lookup ---------------------------------------------------------------------
 

@@ -17,7 +17,12 @@ from repro.sram.sense_amp import (
 from repro.sram.array import SramArray
 from repro.sram.macro import SramMacro, MacroEnergyLedger
 from repro.sram.variation_study import VariationStudy, ReadTimingDistribution
-from repro.sram.faults import FaultInjector, FaultSweepPoint, flip_bits
+from repro.sram.faults import (
+    FaultInjector,
+    FaultSweepPoint,
+    flip_bits,
+    trial_seed_sequence,
+)
 
 __all__ = [
     "VariationStudy",
@@ -25,6 +30,7 @@ __all__ = [
     "FaultInjector",
     "FaultSweepPoint",
     "flip_bits",
+    "trial_seed_sequence",
     "CellType",
     "BitcellSpec",
     "ALL_CELLS",

@@ -4,16 +4,29 @@ SRAM-based weight storage at advanced nodes is exposed to soft errors
 (SEUs) and retention faults; a practical deployment question for an
 edge accelerator like ESAM is how gracefully classification degrades
 as stored weight bits flip.  This module injects uniform random bit
-flips into the binary weight matrices and measures the effect — an
-extension study supporting the paper's always-on edge use case.
+flips into the binary weight matrices and measures the effect — the
+foundation of the Monte-Carlo campaigns in :mod:`repro.reliability`.
 
-Two injection targets:
+Two injection targets, driven by the *same* random draws so they are
+provably interchangeable (``tests/test_reliability_differential.py``):
 
 * :func:`flip_bits` — pure-array fault injection for the functional
   model (fast, used for bit-error-rate sweeps);
-* :class:`FaultInjector.inject_network` — in-place injection into a
-  hardware network's macros through their normal write ports, so the
-  cycle-accurate path sees the same faults.
+* :meth:`FaultInjector.inject_network` / :meth:`FaultInjector.apply_trial`
+  — injection into a hardware network's macros through their normal
+  load path, so the cycle-accurate and fast engines see the same
+  faults.
+
+Seeding contract
+----------------
+Fault masks derive from the network's :class:`~repro.hw.config.
+HardwareConfig` seed (pass ``config=``), never from a hidden module
+default: two configs that differ only by seed draw *different* masks,
+and two runs of the same config draw identical ones.  Per-trial streams
+come from :func:`trial_seed_sequence` — a ``np.random.SeedSequence``
+spawned off the config seed keyed by (bit-error rate, trial index) —
+so a Monte-Carlo campaign evaluates trial ``k`` to the same mask no
+matter how trials are partitioned across points, shards or workers.
 """
 
 from __future__ import annotations
@@ -25,12 +38,47 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.snn.model import BinarySNN
 
+#: Historical default seed for call sites passing neither ``config``
+#: nor ``seed``.  It keeps the *sequential* stream
+#: (``faulty_model``/``sweep``) reproducing its old masks;
+#: ``inject_network`` draws differently than it used to regardless —
+#: it now masks the logical weight matrices (matching ``flip_bits``
+#: draw for draw) instead of padded per-macro blocks.
+LEGACY_FAULT_SEED = 77
+
+
+def trial_seed_sequence(seed: int, bit_error_rate: float,
+                        trial: int) -> np.random.SeedSequence:
+    """The deterministic RNG root of one Monte-Carlo fault trial.
+
+    Derived from the hardware config ``seed`` via ``SeedSequence``
+    spawn keys — the documented way to fork independent streams — with
+    the bit-error rate's IEEE-754 bits and the trial index as the key,
+    so:
+
+    * different config seeds give unrelated mask streams (the latent
+      shared-mask bug this replaces);
+    * different bit-error rates do not share draws (no correlated
+      masks across the campaign's BER axis);
+    * trial ``k`` is self-identifying: any partition of trials over
+      campaign points reproduces it bit-identically.
+    """
+    if trial < 0:
+        raise ConfigurationError(f"trial index must be >= 0, got {trial}")
+    ber_bits = int(np.float64(bit_error_rate).view(np.uint64))
+    return np.random.SeedSequence(
+        seed, spawn_key=(ber_bits >> 32, ber_bits & 0xFFFFFFFF, trial)
+    )
+
 
 def flip_bits(weights: np.ndarray, bit_error_rate: float,
               rng: np.random.Generator) -> tuple[np.ndarray, int]:
     """Flip each bit of ``weights`` independently with the given rate.
 
-    Returns the faulty copy and the number of flipped bits.
+    Returns the faulty copy and the number of flipped bits.  The mask
+    is drawn as one ``rng.random(shape)`` call, so identically-seeded
+    generators produce identical masks (and applying the same mask
+    twice restores the original weights — XOR is involutive).
     """
     if not 0.0 <= bit_error_rate <= 1.0:
         raise ConfigurationError(
@@ -54,19 +102,106 @@ class FaultSweepPoint:
 
 
 class FaultInjector:
-    """Runs bit-error-rate sweeps against a converted SNN."""
+    """Injects weight-bit faults into functional models and networks.
+
+    Parameters
+    ----------
+    weights / thresholds / output_bias:
+        The *clean* converted network parameters.  Trial injection
+        always starts from these, never from previously-faulted state.
+    config:
+        The :class:`~repro.hw.config.HardwareConfig` whose ``seed``
+        drives every fault mask.  Preferred over ``seed``.
+    seed:
+        Explicit seed override (legacy call sites).  When neither
+        ``config`` nor ``seed`` is given the historical default
+        :data:`LEGACY_FAULT_SEED` applies.
+    """
 
     def __init__(self, weights: list[np.ndarray], thresholds: list[np.ndarray],
-                 output_bias: np.ndarray | None = None, seed: int = 77) -> None:
+                 output_bias: np.ndarray | None = None,
+                 seed: int | None = None, config=None) -> None:
         if not weights:
             raise ConfigurationError("at least one layer required")
         self.weights = [np.asarray(w).astype(np.uint8) for w in weights]
         self.thresholds = [np.asarray(t) for t in thresholds]
         self.output_bias = output_bias
-        self._rng = np.random.default_rng(seed)
+        if seed is None:
+            seed = config.seed if config is not None else LEGACY_FAULT_SEED
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(self.seed)
+
+    # -- per-trial streams (Monte-Carlo campaigns) --------------------------------
+
+    def trial_rng(self, bit_error_rate: float,
+                  trial: int) -> np.random.Generator:
+        """The self-seeded generator of one (BER, trial) cell."""
+        return np.random.default_rng(
+            trial_seed_sequence(self.seed, bit_error_rate, trial)
+        )
+
+    def faulty_weights_for_trial(self, bit_error_rate: float, trial: int,
+                                 ) -> tuple[list[np.ndarray], int]:
+        """Clean weights with trial ``trial``'s fault mask applied.
+
+        Layers consume the trial stream in order, so the functional
+        path (:meth:`faulty_model_for_trial`) and the hardware path
+        (:meth:`apply_trial`) flip exactly the same bits.
+        """
+        rng = self.trial_rng(bit_error_rate, trial)
+        faulty, total = [], 0
+        for w in self.weights:
+            fw, flips = flip_bits(w, bit_error_rate, rng)
+            faulty.append(fw)
+            total += flips
+        return faulty, total
+
+    def faulty_model_for_trial(self, bit_error_rate: float, trial: int,
+                               ) -> tuple[BinarySNN, int]:
+        """Functional model with trial ``trial``'s faults injected."""
+        faulty, flips = self.faulty_weights_for_trial(bit_error_rate, trial)
+        return BinarySNN(faulty, self.thresholds, self.output_bias), flips
+
+    def apply_trial(self, network, bit_error_rate: float, trial: int) -> int:
+        """Load trial ``trial``'s faulty weights into a hardware network.
+
+        Always derives from the injector's *clean* weights (not the
+        network's current contents), so consecutive trials on one
+        network are independent — the vectorized evaluation loop of
+        :class:`~repro.reliability.runner.ReliabilityRunner`.  Returns
+        the number of flipped bits.
+        """
+        faulty, flips = self.faulty_weights_for_trial(bit_error_rate, trial)
+        self._load_network(network, faulty)
+        return flips
+
+    def restore_network(self, network) -> None:
+        """Reload the clean weights into ``network`` (end of campaign)."""
+        self._load_network(network, self.weights)
+
+    def _load_network(self, network, matrices: list[np.ndarray]) -> None:
+        if len(network.tiles) != len(matrices):
+            raise ConfigurationError(
+                f"network has {len(network.tiles)} tiles but the injector "
+                f"holds {len(matrices)} weight matrices"
+            )
+        for tile, matrix in zip(network.tiles, matrices):
+            if matrix.shape != (tile.n_in, tile.n_out):
+                raise ConfigurationError(
+                    f"tile {tile.name}: weights {matrix.shape} != "
+                    f"({tile.n_in}, {tile.n_out})"
+                )
+            for rb in range(tile.mapping.row_blocks):
+                for cb in range(tile.mapping.col_blocks):
+                    tile.macros[rb][cb].load_weights(
+                        tile.mapping.block_weights(matrix, rb, cb)
+                    )
+            tile.note_weight_update()
+
+    # -- sequential sweep API (legacy stream) --------------------------------------
 
     def faulty_model(self, bit_error_rate: float) -> tuple[BinarySNN, int]:
-        """A functional model with faults injected into every layer."""
+        """A functional model with faults from the sequential stream."""
         faulty_weights = []
         total_flips = 0
         for w in self.weights:
@@ -101,19 +236,25 @@ class FaultInjector:
             )
         return points
 
-    def inject_network(self, network, bit_error_rate: float) -> int:
+    def inject_network(self, network, bit_error_rate: float,
+                       rng: np.random.Generator | None = None) -> int:
         """Flip bits inside a hardware network's macros (in place).
 
-        Uses the arrays' normal load path so design rules still apply.
-        Returns the number of flipped bits.
+        Masks are drawn over each tile's *logical* weight matrix —
+        identical draw order and shapes to :func:`flip_bits` on the
+        layer list — so a generator seeded like the functional path
+        flips exactly the same bits (padding cells are never touched).
+        Cumulative: flips apply on top of the network's current
+        contents.  Returns the number of flipped bits.
         """
+        rng = rng if rng is not None else self._rng
         total = 0
+        faulty_matrices = []
         for tile in network.tiles:
-            for row in tile.macros:
-                for macro in row:
-                    bits = macro.array.dump_weights()
-                    faulty, flips = flip_bits(bits, bit_error_rate, self._rng)
-                    macro.array.load_weights(faulty)
-                    total += flips
-            tile.note_weight_update()
+            faulty, flips = flip_bits(
+                tile.weight_matrix(), bit_error_rate, rng
+            )
+            faulty_matrices.append(faulty)
+            total += flips
+        self._load_network(network, faulty_matrices)
         return total

@@ -142,3 +142,26 @@ class VariationStudy:
         budget = self.read_budget_ns(cell_type, clock_period_ns)
         samples = self.sample_read_times(cell_type, n)
         return float((samples <= budget).mean())
+
+    def corner_parametric_yield(self, cell_type: CellType, corner,
+                                clock_period_ns: float | None = None,
+                                n: int = 8192) -> float:
+        """Parametric yield with a named design corner folded in.
+
+        ``corner`` is a :class:`~repro.tech.corners.CornerSpec`.  At a
+        non-typical corner the whole read path slows (or speeds) by the
+        corner's ``delay_factor`` — sampled local read times stretch by
+        it — while the clock derates by the same factor, so the budget
+        follows :meth:`read_budget_ns` of the derated clock.  Because
+        the budget is affine in the clock — the *whole* cycle derates,
+        not just the SRAM share of it — slow silicon under its derated
+        clock gains a little margin and aggressively-clocked fast
+        silicon gives some back; the typical corner reproduces
+        :meth:`parametric_yield` exactly.
+        """
+        base_clock = (CLOCK_PERIOD_NS[cell_type]
+                      if clock_period_ns is None else clock_period_ns)
+        derated_clock = base_clock * corner.delay_factor
+        budget = self.read_budget_ns(cell_type, derated_clock)
+        samples = self.sample_read_times(cell_type, n) * corner.delay_factor
+        return float((samples <= budget).mean())

@@ -26,8 +26,18 @@ Run named sweeps from the shell with ``python -m repro.sweep`` (see
 See ``docs/sweep.md`` for the full guide.
 """
 
-from repro.sweep.cache import ResultCache, point_key, weights_fingerprint
-from repro.sweep.runner import SweepRunner, evaluate_point
+from repro.sweep.cache import (
+    ResultCache,
+    entry_key,
+    point_key,
+    weights_fingerprint,
+)
+from repro.sweep.runner import (
+    SweepRunner,
+    evaluate_point,
+    run_cached_points,
+    shard_map,
+)
 from repro.sweep.spec import (
     NAMED_SWEEPS,
     DesignPoint,
@@ -55,6 +65,9 @@ __all__ = [
     "engines_spec",
     "corners_spec",
     "evaluate_point",
+    "entry_key",
     "point_key",
     "weights_fingerprint",
+    "run_cached_points",
+    "shard_map",
 ]

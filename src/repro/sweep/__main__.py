@@ -25,8 +25,11 @@ import inspect
 import sys
 
 from repro.errors import ReproError
-from repro.hw.cli import add_hardware_arguments, hardware_from_args
-from repro.hw.config import HardwareConfig
+from repro.hw.cli import (
+    add_hardware_arguments,
+    hardware_from_args,
+    narrowed_axes,
+)
 from repro.learning.pretrained import QUALITY_PRESETS
 from repro.sweep.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.sweep.runner import SweepRunner
@@ -117,18 +120,9 @@ def main(argv: list[str] | None = None) -> int:
     }
     accepted = inspect.signature(factory).parameters
     kwargs = {k: v for k, v in available.items() if k in accepted}
-    # A scalar the user pinned — by flag or via the --config file —
-    # whose axis the factory sweeps (e.g. `corners --corner slow`,
-    # `vprech --vprech 0.6`) narrows that axis to the requested value
-    # instead of being silently dropped.
-    default_hw = HardwareConfig()
-    for scalar, plural in (
-        ("vprech", "vprechs"), ("node", "nodes"), ("corner", "corners"),
-    ):
-        pinned = (getattr(args, scalar, None) is not None
-                  or available[scalar] != getattr(default_hw, scalar))
-        if pinned and scalar not in accepted and plural in accepted:
-            kwargs[plural] = (available[scalar],)
+    # A pinned scalar whose axis the factory sweeps narrows that axis
+    # (shared contract with the reliability CLI — see narrowed_axes).
+    kwargs.update(narrowed_axes(args, hardware, accepted))
     spec = factory(**kwargs)
     if args.no_cache:
         cache: ResultCache | None = None

@@ -41,7 +41,11 @@ from repro.sweep.spec import DesignPoint
 #: v2: design points carry explicit ``node``/``corner`` fields
 #: (HardwareConfig refactor), so v1 entries — implicitly 3nm/typical —
 #: are retired rather than aliased.
-CACHE_VERSION = 2
+#: v3: the cache is shared with the reliability campaigns
+#: (:mod:`repro.reliability`); key payloads carry a ``kind``
+#: discriminator ("sweep" / "reliability") so the two entry families
+#: can never alias inside one cache directory.
+CACHE_VERSION = 3
 
 #: Default cache root, shared with the trained-model artifacts.
 DEFAULT_CACHE_DIR = (
@@ -66,17 +70,28 @@ def weights_fingerprint(snn: ConvertedSNN) -> str:
     return digest.hexdigest()
 
 
-def point_key(point: DesignPoint, fingerprint: str) -> str:
-    """Cache key of one design point under one network fingerprint."""
+def entry_key(kind: str, point_dict: dict, fingerprint: str) -> str:
+    """Cache key of one evaluated entry under one network fingerprint.
+
+    ``kind`` namespaces the entry family ("sweep" design points,
+    "reliability" fault points, ...) so different row schemas sharing
+    one cache directory cannot alias even if their point dicts agree.
+    """
     payload = json.dumps(
         {
             "version": CACHE_VERSION,
-            "point": point.to_dict(),
+            "kind": kind,
+            "point": point_dict,
             "weights": fingerprint,
         },
         sort_keys=True,
     )
     return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def point_key(point: DesignPoint, fingerprint: str) -> str:
+    """Cache key of one design point under one network fingerprint."""
+    return entry_key("sweep", point.to_dict(), fingerprint)
 
 
 class ResultCache:

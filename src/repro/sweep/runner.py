@@ -94,6 +94,77 @@ def _evaluate_task(payload: tuple[DesignPoint, ConvertedSNN | None],
     return evaluate_point(point, snn)
 
 
+# -- generic sharded-cache machinery -------------------------------------------------
+#
+# The satisfy-from-cache-then-evaluate-misses loop and the process-pool
+# sharding are not sweep-specific: the reliability campaign runner
+# (:mod:`repro.reliability.runner`) executes fault points through the
+# exact same cache discipline.  Both runners compose these two
+# functions, so the determinism contract — bit-identical results for
+# any worker count, corrupt entry == miss, parent-side hit accounting —
+# is implemented once.
+
+
+def shard_map(task, payloads: list, n_workers: int) -> list:
+    """``[task(p) for p in payloads]``, optionally across processes.
+
+    ``task`` must be a module-level (picklable) callable when
+    ``n_workers > 1``.  Results come back in input order, so callers
+    are bit-identical for any worker count by construction.
+    """
+    if n_workers < 1:
+        raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+    if n_workers == 1 or len(payloads) <= 1:
+        return [task(payload) for payload in payloads]
+    workers = min(n_workers, len(payloads))
+    with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(task, payloads))
+
+
+def run_cached_points(points: list, *, cache: ResultCache | None,
+                      key_fn, load_row, dump_row, evaluate,
+                      ) -> tuple[list, SweepStats]:
+    """Satisfy ``points`` from ``cache``, evaluating only the misses.
+
+    Parameters
+    ----------
+    key_fn:
+        ``point -> cache key`` (only called when ``cache`` is set).
+    load_row:
+        ``stored dict -> row`` for cache hits.
+    dump_row:
+        ``row -> dict`` persisted for freshly evaluated points.
+    evaluate:
+        ``list of miss points -> list of rows`` in input order (this is
+        where callers shard across workers, e.g. via :func:`shard_map`).
+
+    Returns the rows in ``points`` order plus hit/evaluated statistics.
+    """
+    stats = SweepStats()
+    rows: list = [None] * len(points)
+    misses: list[_WorkItem] = []
+    if cache is not None:
+        for index, point in enumerate(points):
+            key = key_fn(point)
+            cached = cache.get(key)
+            if cached is not None:
+                rows[index] = load_row(cached)
+                stats.cache_hits += 1
+            else:
+                misses.append(_WorkItem(index=index, point=point, key=key))
+    else:
+        misses = [
+            _WorkItem(index=i, point=p, key="") for i, p in enumerate(points)
+        ]
+
+    for item, row in zip(misses, evaluate([item.point for item in misses])):
+        if cache is not None:
+            cache.put(item.key, dump_row(row))
+        rows[item.index] = row
+        stats.evaluated += 1
+    return rows, stats
+
+
 class SweepRunner:
     """Shards a sweep's design points across workers, with caching.
 
@@ -176,59 +247,52 @@ class SweepRunner:
             out[point] = per_model[model_key]
         return out
 
-    def _evaluate_misses(self, misses: list[_WorkItem]) -> list[SystemMetrics]:
+    def _evaluate_misses(self, points: list[DesignPoint]) -> list[SweepRow]:
         """Evaluate cache misses, sharded or in-process, in input order."""
-        if not misses:
+        if not points:
             return []
         if self._evaluator is not None:
-            return [
+            metrics = [
                 self._evaluator.evaluate_cell(
-                    engine=item.point.engine, hardware=item.point.hardware,
+                    engine=point.engine, hardware=point.hardware,
                 ).metrics
-                for item in misses
+                for point in points
             ]
-        if self.n_workers == 1 or len(misses) == 1:
-            return [evaluate_point(item.point, self._snn) for item in misses]
-        # Pre-warm the trained-model caches in the parent: on fork-based
-        # platforms the workers inherit the in-memory model; elsewhere
-        # they hit the .npz disk cache instead of re-training.
-        if self._snn is None:
-            for model_key in {(i.point.quality, i.point.seed) for i in misses}:
-                get_reference_model(*model_key)
-        payloads = [(item.point, self._snn) for item in misses]
-        workers = min(self.n_workers, len(misses))
-        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_evaluate_task, payloads))
+        elif self.n_workers == 1 or len(points) == 1:
+            metrics = [evaluate_point(point, self._snn) for point in points]
+        else:
+            # Pre-warm the trained-model caches in the parent: on
+            # fork-based platforms the workers inherit the in-memory
+            # model; elsewhere they hit the .npz disk cache instead of
+            # re-training.
+            if self._snn is None:
+                for model_key in {(p.quality, p.seed) for p in points}:
+                    get_reference_model(*model_key)
+            metrics = shard_map(
+                _evaluate_task, [(p, self._snn) for p in points],
+                self.n_workers,
+            )
+        return [
+            SweepRow(point=point, metrics=m, cached=False)
+            for point, m in zip(points, metrics)
+        ]
 
     # -- API -------------------------------------------------------------------------
 
     def run(self) -> SweepResult:
         """Evaluate the grid; returns rows in the spec's expansion order."""
         points = self.spec.expand()
-        stats = SweepStats()
-        rows: list[SweepRow | None] = [None] * len(points)
-        misses: list[_WorkItem] = []
-
         if self.cache is not None:
             fingerprints = self._fingerprints(points)
-            for index, point in enumerate(points):
-                key = point_key(point, fingerprints[point])
-                cached = self.cache.get(key)
-                if cached is not None:
-                    rows[index] = SweepRow.from_dict(cached, cached=True)
-                    stats.cache_hits += 1
-                else:
-                    misses.append(_WorkItem(index=index, point=point, key=key))
+            key_fn = lambda point: point_key(point, fingerprints[point])  # noqa: E731
         else:
-            misses = [
-                _WorkItem(index=i, point=p, key="") for i, p in enumerate(points)
-            ]
-
-        for item, metrics in zip(misses, self._evaluate_misses(misses)):
-            row = SweepRow(point=item.point, metrics=metrics, cached=False)
-            if self.cache is not None:
-                self.cache.put(item.key, row.to_dict())
-            rows[item.index] = row
-            stats.evaluated += 1
-
-        return SweepResult(spec_name=self.spec.name, rows=list(rows), stats=stats)
+            key_fn = None
+        rows, stats = run_cached_points(
+            points,
+            cache=self.cache,
+            key_fn=key_fn,
+            load_row=lambda data: SweepRow.from_dict(data, cached=True),
+            dump_row=lambda row: row.to_dict(),
+            evaluate=self._evaluate_misses,
+        )
+        return SweepResult(spec_name=self.spec.name, rows=rows, stats=stats)

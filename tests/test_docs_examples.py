@@ -40,7 +40,8 @@ def extract_python_blocks(path: pathlib.Path) -> list[str]:
 def test_documentation_suite_exists():
     assert (REPO_ROOT / "docs" / "architecture.md").exists()
     assert (REPO_ROOT / "docs" / "sweep.md").exists()
-    assert len(DOC_FILES) >= 3
+    assert (REPO_ROOT / "docs" / "reliability.md").exists()
+    assert len(DOC_FILES) >= 4
 
 
 @pytest.mark.parametrize(

@@ -30,7 +30,7 @@ from repro.tile.network import EsamNetwork
 #: cache in the wild silently invalidates — bump CACHE_VERSION and this
 #: constant together, deliberately.
 GOLDEN_PAPER_POINT_KEY = (
-    "40eb30496fe3ca9a37a825af5464ffc19c6d366b6020c3845f89b86d57abec47"
+    "dffe3a876447d2e763eb5dc715eb27cdd967a8f7f440693ceaf8d539eb5785d5"
 )
 
 

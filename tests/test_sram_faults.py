@@ -119,3 +119,59 @@ class TestNetworkInjection:
     def test_validation(self):
         with pytest.raises(ConfigurationError):
             FaultInjector([], [])
+
+
+class TestSeedDerivation:
+    """Regression for the latent seed bug: a bare ``seed=77`` default
+    used to ignore the network's ``HardwareConfig.seed``, so two
+    configs differing only by seed shared fault masks."""
+
+    def make_injectors(self, rng, seed_a: int, seed_b: int):
+        from repro.hw.config import HardwareConfig
+
+        weights = [rng.integers(0, 2, (64, 12)).astype(np.uint8)]
+        thresholds = [np.full(12, 511)]
+        return (
+            FaultInjector(weights, thresholds,
+                          config=HardwareConfig(seed=seed_a)),
+            FaultInjector(weights, thresholds,
+                          config=HardwareConfig(seed=seed_b)),
+        )
+
+    def test_configs_differing_only_by_seed_draw_different_masks(self, rng):
+        a, b = self.make_injectors(rng, 1, 2)
+        fa, _ = a.faulty_weights_for_trial(0.1, trial=0)
+        fb, _ = b.faulty_weights_for_trial(0.1, trial=0)
+        assert not np.array_equal(fa[0], fb[0])
+        # The legacy sequential stream diverges too.
+        ma, _ = a.faulty_model(0.1)
+        mb, _ = b.faulty_model(0.1)
+        assert not np.array_equal(ma.weights[0], mb.weights[0])
+
+    def test_equal_config_seeds_reproduce_masks(self, rng):
+        a, b = self.make_injectors(rng, 5, 5)
+        fa, na = a.faulty_weights_for_trial(0.1, trial=3)
+        fb, nb = b.faulty_weights_for_trial(0.1, trial=3)
+        assert na == nb
+        assert np.array_equal(fa[0], fb[0])
+
+    def test_explicit_seed_overrides_config(self, rng):
+        from repro.hw.config import HardwareConfig
+
+        weights = [rng.integers(0, 2, (16, 8)).astype(np.uint8)]
+        injector = FaultInjector(weights, [np.full(8, 511)], seed=9,
+                                 config=HardwareConfig(seed=1))
+        assert injector.seed == 9
+
+    def test_legacy_default_seed_is_preserved(self, rng):
+        from repro.sram.faults import LEGACY_FAULT_SEED
+
+        weights = [rng.integers(0, 2, (16, 8)).astype(np.uint8)]
+        assert (FaultInjector(weights, [np.full(8, 511)]).seed
+                == LEGACY_FAULT_SEED)
+
+    def test_negative_trial_rejected(self, rng):
+        from repro.sram.faults import trial_seed_sequence
+
+        with pytest.raises(ConfigurationError):
+            trial_seed_sequence(42, 0.1, -1)
