@@ -37,11 +37,23 @@ Public API overview
 ``repro.data`` / ``repro.snn``
     Synthetic MNIST-like digits, input encoding and the functional
     binary-SNN reference.
+``repro.resilience``
+    The fault-tolerant execution layer shared by serving and the
+    campaign runners: retry/backoff policies, per-model circuit
+    breakers, crash-supervised sharding, resumable campaign journals
+    and the seeded chaos harness (``docs/resilience.md``).
 """
 
 from repro.core.esam import EsamSystem
 from repro.core.results import ClassificationResult, HardwareReport
-from repro.errors import QueueFullError, ServingError
+from repro.errors import (
+    DeadlineExceededError,
+    InjectedFaultError,
+    ModelUnavailableError,
+    QueueFullError,
+    ServingError,
+    WorkerCrashError,
+)
 from repro.hw.config import HardwareConfig, paper_point, validate_vprech
 from repro.sram.bitcell import CellType
 
@@ -55,7 +67,11 @@ __all__ = [
     "paper_point",
     "validate_vprech",
     "CellType",
+    "DeadlineExceededError",
+    "InjectedFaultError",
+    "ModelUnavailableError",
     "QueueFullError",
     "ServingError",
+    "WorkerCrashError",
     "__version__",
 ]

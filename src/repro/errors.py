@@ -52,3 +52,49 @@ class QueueFullError(ServingError):
     expected to retry after a short delay or shed load — a rejected
     request is never partially enqueued.
     """
+
+
+class DeadlineExceededError(ServingError):
+    """A request's deadline expired before it could be dispatched.
+
+    Requests submitted with ``deadline_ms`` carry an absolute expiry;
+    under backlog the server *sheds* already-doomed requests at flush
+    time — failing their futures with this error instead of spending
+    engine cycles on an answer nobody is waiting for.  Every shed
+    request is counted in ``ServingMetrics`` (``shed``); nothing is
+    dropped silently.
+    """
+
+
+class ModelUnavailableError(ServingError):
+    """A model's circuit breaker is open; submissions fail fast.
+
+    After ``failure_threshold`` consecutive flush failures the
+    registry's per-model :class:`~repro.resilience.policy.
+    CircuitBreaker` opens: new submissions for that model raise this
+    error immediately (no queueing, no engine work) until the cooldown
+    elapses and a half-open probe succeeds.  Other models on the same
+    server are unaffected.
+    """
+
+
+class WorkerCrashError(SimulationError):
+    """A supervised worker shard crashed (or hung) beyond its retry budget.
+
+    The sweep/reliability shard supervisor survives worker-process
+    crashes (``BrokenProcessPool``) by re-queueing the affected points
+    to a rebuilt pool; when one point keeps crashing past
+    ``SupervisorPolicy.retry_budget`` re-executions, the campaign fails
+    with this error naming the point instead of retrying forever.
+    """
+
+
+class InjectedFaultError(SimulationError):
+    """A synthetic transient fault injected by the chaos harness.
+
+    Raised only by :class:`~repro.resilience.chaos.ChaosPolicy` —
+    mirroring the paper's bit-error grids at the software layer — and
+    classified as *transient*: retry policies treat it as retryable,
+    which is how the chaos suite proves the retry/breaker machinery
+    works without real hardware faults.
+    """

@@ -15,6 +15,11 @@ narrows the corresponding campaign axis instead of being dropped.
 Campaign entries share the sweep engine's on-disk cache, so warm
 re-runs (and overlaps with earlier campaigns) finish without touching
 the simulator; ``--no-cache`` forces fresh evaluation.
+
+Campaigns are interruptible: every finished fault point is committed
+to the cache (and journaled) as it completes, so Ctrl-C flushes
+partial results, prints a resume hint and exits 130.  ``--resume``
+reports the journal state, then evaluates only the unfinished points.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ from repro.hw.cli import (
 from repro.learning.pretrained import QUALITY_PRESETS
 from repro.reliability.spec import NAMED_CAMPAIGNS
 from repro.reliability.runner import ReliabilityRunner
+from repro.resilience.cli import print_interrupted, report_resume
 from repro.sweep.cache import DEFAULT_CACHE_DIR, ResultCache
 
 
@@ -97,6 +103,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate every point fresh, do not read or write the cache",
     )
     parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted run: report the journal state, then "
+             "evaluate only the unfinished points (needs the cache)",
+    )
+    parser.add_argument(
         "--claims", action="store_true",
         help="also print the degradation claims derived from the curves",
     )
@@ -147,13 +158,19 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     if args.no_cache:
+        if args.resume:
+            parser.error("--resume needs the cache; drop --no-cache")
         cache: ResultCache | None = None
     else:
         cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
 
     try:
         runner = ReliabilityRunner(spec, n_workers=args.workers, cache=cache)
+        if args.resume:
+            report_resume(runner, "campaign")
         result = runner.run()
+    except KeyboardInterrupt:
+        return print_interrupted("python -m repro.reliability", argv)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

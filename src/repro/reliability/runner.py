@@ -21,6 +21,8 @@ faulted networks (``tests/test_reliability_differential.py``).
 
 from __future__ import annotations
 
+import pathlib
+
 from repro.errors import ConfigurationError
 from repro.learning.pretrained import get_reference_model
 from repro.reliability.spec import FaultCampaignSpec, FaultPoint
@@ -30,6 +32,9 @@ from repro.reliability.store import (
     TIMING_YIELD_SAMPLES,
     build_yield_curves,
 )
+from repro.resilience.chaos import ChaosPolicy
+from repro.resilience.journal import CampaignJournal, run_id_for
+from repro.resilience.policy import SupervisorPolicy
 from repro.snn.encode import encode_images
 from repro.sram.faults import FaultInjector
 from repro.sweep.cache import ResultCache, entry_key, weights_fingerprint
@@ -111,11 +116,26 @@ class ReliabilityRunner:
         to disable caching.
     mc_samples:
         Monte-Carlo sample count behind each curve's timing yield.
+    supervisor:
+        Crash-recovery policy for worker shards (retry budget,
+        watchdog); the default :class:`SupervisorPolicy` already
+        survives worker crashes.
+    chaos:
+        Optional :class:`ChaosPolicy` injecting deterministic worker
+        crashes into the shards; recovered results stay bit-identical
+        to a fault-free run (the chaos acceptance suite pins this).
+    journal:
+        ``True`` (default) journals progress next to the cache so
+        interrupted campaigns resume with zero recomputation;
+        ignored without a cache.
     """
 
     def __init__(self, spec: FaultCampaignSpec, *, n_workers: int = 1,
                  cache: ResultCache | bool | None = True,
-                 mc_samples: int = TIMING_YIELD_SAMPLES) -> None:
+                 mc_samples: int = TIMING_YIELD_SAMPLES,
+                 supervisor: SupervisorPolicy | None = None,
+                 chaos: ChaosPolicy | None = None,
+                 journal: bool = True) -> None:
         if n_workers < 1:
             raise ConfigurationError(
                 f"n_workers must be >= 1, got {n_workers}"
@@ -131,36 +151,74 @@ class ReliabilityRunner:
         else:
             self.cache = cache
         self.mc_samples = mc_samples
+        self.supervisor = supervisor
+        self.chaos = chaos
+        self._journal_enabled = bool(journal)
 
-    def _evaluate_misses(self,
-                         points: list[FaultPoint]) -> list[ReliabilityRow]:
+    @property
+    def journal_dir(self) -> pathlib.Path | None:
+        """Where this runner journals progress (``None`` disables it)."""
+        if not self._journal_enabled or self.cache is None:
+            return None
+        return self.cache.root / "journal"
+
+    def _key_fn(self):
+        reference = get_reference_model(self.spec.quality, self.spec.seed)
+        fingerprint = weights_fingerprint(reference.snn)
+        return lambda point: entry_key(
+            "reliability", point.to_dict(), fingerprint
+        )
+
+    def journal(self) -> CampaignJournal | None:
+        """The journal the next :meth:`run` will write (for ``--resume``)."""
+        if self.journal_dir is None:
+            return None
+        key_fn = self._key_fn()
+        keys = [key_fn(point) for point in self.spec.expand()]
+        return CampaignJournal(
+            self.journal_dir / f"reliability-{run_id_for(keys)}.jsonl"
+        )
+
+    def _evaluate_misses(self, points: list[FaultPoint],
+                         on_done=None) -> list[ReliabilityRow]:
         if not points:
             return []
-        if self.n_workers > 1:
+        if self.n_workers > 1 and len(points) > 1:
             # Pre-warm the trained-model disk cache in the parent so
             # spawned workers load instead of re-training.
             for model_key in {(p.quality, p.seed) for p in points}:
                 get_reference_model(*model_key)
-        outcomes = shard_map(_evaluate_task, points, self.n_workers)
+        row_cache: dict[int, ReliabilityRow] = {}
+
+        def outcome_done(position: int, outcome) -> None:
+            accuracies, flips = outcome
+            row = ReliabilityRow(
+                point=points[position], accuracies=accuracies,
+                flipped_bits=flips, cached=False,
+            )
+            row_cache[position] = row
+            if on_done is not None:
+                on_done(position, row)
+
+        outcomes = shard_map(
+            _evaluate_task, points, self.n_workers,
+            supervisor=self.supervisor, chaos=self.chaos,
+            on_done=outcome_done,
+        )
         return [
-            ReliabilityRow(
+            row_cache.get(position)
+            or ReliabilityRow(
                 point=point, accuracies=accuracies, flipped_bits=flips,
                 cached=False,
             )
-            for point, (accuracies, flips) in zip(points, outcomes)
+            for position, (point, (accuracies, flips))
+            in enumerate(zip(points, outcomes))
         ]
 
     def run(self) -> CampaignResult:
         """Evaluate the campaign; rows follow the spec's expansion order."""
         points = self.spec.expand()
-        if self.cache is not None:
-            reference = get_reference_model(self.spec.quality, self.spec.seed)
-            fingerprint = weights_fingerprint(reference.snn)
-            key_fn = lambda point: entry_key(  # noqa: E731
-                "reliability", point.to_dict(), fingerprint
-            )
-        else:
-            key_fn = None
+        key_fn = self._key_fn() if self.cache is not None else None
         rows, stats = run_cached_points(
             points,
             cache=self.cache,
@@ -168,6 +226,8 @@ class ReliabilityRunner:
             load_row=lambda data: ReliabilityRow.from_dict(data, cached=True),
             dump_row=lambda row: row.to_dict(),
             evaluate=self._evaluate_misses,
+            journal_dir=self.journal_dir,
+            kind="reliability",
         )
         curves = build_yield_curves(
             rows, mc_seed=self.spec.seed, mc_samples=self.mc_samples

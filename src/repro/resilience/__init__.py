@@ -1,0 +1,44 @@
+"""Fault-tolerant execution layer shared by serving and campaigns.
+
+One policy-driven vocabulary for how the stack behaves when things
+break — the software-layer mirror of the paper's graceful-degradation
+story:
+
+* :class:`~repro.resilience.policy.RetryPolicy` — seeded exponential
+  backoff + jitter for transient failures (deterministic per seed).
+* :class:`~repro.resilience.policy.BreakerPolicy` /
+  :class:`~repro.resilience.policy.CircuitBreaker` — per-model
+  fail-fast after K consecutive flush failures, half-open probe to
+  recover.
+* :class:`~repro.resilience.policy.SupervisorPolicy` — bounded crash
+  retry + wall-clock watchdog for sharded campaign workers.
+* :class:`~repro.resilience.chaos.ChaosPolicy` — seeded, deterministic
+  fault injection (worker crashes, flush errors, latency spikes) that
+  the acceptance suite drives the whole stack through.
+* :class:`~repro.resilience.journal.CampaignJournal` — crash-safe
+  progress journal making campaigns interruptible and resumable.
+
+See ``docs/resilience.md`` for the failure-semantics walkthrough.
+"""
+
+from repro.resilience.chaos import ChaosPolicy
+from repro.resilience.journal import CampaignJournal, JournalState, run_id_for
+from repro.resilience.policy import (
+    TRANSIENT_ERRORS,
+    BreakerPolicy,
+    CircuitBreaker,
+    RetryPolicy,
+    SupervisorPolicy,
+)
+
+__all__ = [
+    "BreakerPolicy",
+    "CampaignJournal",
+    "ChaosPolicy",
+    "CircuitBreaker",
+    "JournalState",
+    "RetryPolicy",
+    "SupervisorPolicy",
+    "TRANSIENT_ERRORS",
+    "run_id_for",
+]

@@ -1,0 +1,59 @@
+"""Shared CLI glue for interruptible, resumable campaign runs.
+
+Both campaign CLIs (``python -m repro.sweep`` and
+``python -m repro.reliability``) follow the same contract on Ctrl-C:
+every finished point is already committed to the cache, so the process
+prints where the partial results live, prints the exact command that
+resumes the run, and exits with status 130 (128 + SIGINT, the shell
+convention).  The helpers here keep the two CLIs' wording and
+behaviour identical.
+"""
+
+from __future__ import annotations
+
+import sys
+
+#: Conventional exit status for a run ended by SIGINT (128 + 2).
+SIGINT_EXIT = 130
+
+
+def resume_hint(prog: str, argv: list[str] | None) -> str:
+    """The exact command that resumes the interrupted run.
+
+    Reconstructed from the invocation's own arguments with ``--resume``
+    appended (once), so copy-pasting the hint re-runs the same spec
+    against the same cache.
+    """
+    arguments = list(argv if argv is not None else sys.argv[1:])
+    if "--resume" not in arguments:
+        arguments.append("--resume")
+    return " ".join([prog, *arguments])
+
+
+def report_resume(runner, label: str) -> None:
+    """Print what ``--resume`` found in the runner's journal.
+
+    ``runner`` is any campaign runner exposing ``journal()`` (the
+    sweep and reliability runners both do).  Three cases: no journal
+    (fresh start), a completed run (everything is a cache hit), or an
+    interrupted run (only the remaining points will be evaluated).
+    """
+    journal = runner.journal()
+    if journal is None or not journal.exists():
+        print(f"--resume: no journal for this {label}; starting fresh")
+        return
+    state = journal.load()
+    if state.complete:
+        print(f"--resume: previous run completed "
+              f"({state.finished}/{state.total} points); serving from cache")
+    else:
+        print(f"--resume: {state.finished}/{state.total} points already "
+              f"done, {len(state.remaining)} to evaluate")
+
+
+def print_interrupted(prog: str, argv: list[str] | None) -> int:
+    """Report an interrupt + resume hint; returns :data:`SIGINT_EXIT`."""
+    print("\ninterrupted: partial results are committed to the cache",
+          file=sys.stderr)
+    print(f"resume with:\n  {resume_hint(prog, argv)}", file=sys.stderr)
+    return SIGINT_EXIT

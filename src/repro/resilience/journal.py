@@ -1,0 +1,174 @@
+"""Crash-safe campaign journal: which points are done, which are not.
+
+The on-disk :class:`~repro.sweep.cache.ResultCache` already makes
+completed points durable; what a killed campaign loses is the
+*bookkeeping* — how far it got, what remains, whether a re-run is a
+resume or a fresh start.  A :class:`CampaignJournal` is a small
+append-only JSONL file next to the cache recording exactly that:
+
+```text
+{"event": "begin", "run_id": ..., "kind": ..., "total": N, "cache_hits": H}
+{"event": "start", "key": "<entry key>"}
+{"event": "done",  "key": "<entry key>"}
+{"event": "interrupted"}        # SIGINT landed mid-run
+{"event": "complete"}           # every point accounted for
+```
+
+Every line is flushed to the OS as written, so after a ``kill`` the
+journal tells the next invocation (``--resume``) how many points were
+finished (their rows sit in the cache — zero recomputation) and how
+many remain.  The journal's ``run_id`` derives from the campaign's
+cache keys, so the same spec + model resolves to the same journal file
+across invocations, while any change to the grid or the weights starts
+a distinct run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+
+@dataclass
+class JournalState:
+    """Parsed view of one journal file."""
+
+    meta: dict = field(default_factory=dict)
+    started: list[str] = field(default_factory=list)
+    done: list[str] = field(default_factory=list)
+    interrupted: bool = False
+    complete: bool = False
+
+    @property
+    def total(self) -> int:
+        """Points in the run (cache hits + journaled work)."""
+        return int(self.meta.get("total", 0))
+
+    @property
+    def finished(self) -> int:
+        """Points accounted for: prior cache hits + journaled ``done``."""
+        return int(self.meta.get("cache_hits", 0)) + len(self.done)
+
+    @property
+    def remaining(self) -> list[str]:
+        """Entry keys started (or pending) but never marked done."""
+        done = set(self.done)
+        return [key for key in self.started if key not in done]
+
+
+def run_id_for(keys: list[str]) -> str:
+    """Stable run identity from a campaign's cache entry keys.
+
+    The keys already encode the cache schema version, the entry kind,
+    every point's canonical dict and the weights fingerprint — so two
+    invocations of the same campaign against the same model share a
+    journal, and anything else does not.  Order-independent: sharding
+    or expansion-order changes do not fork the run identity.
+    """
+    digest = hashlib.sha256("|".join(sorted(keys)).encode())
+    return digest.hexdigest()[:12]
+
+
+class CampaignJournal:
+    """Append-only JSONL journal for one resumable campaign run."""
+
+    def __init__(self, path: pathlib.Path | str) -> None:
+        self.path = pathlib.Path(path)
+        self._handle = None
+
+    # -- writing ---------------------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def begin(self, *, run_id: str, kind: str, total: int,
+              cache_hits: int, pending: list[str]) -> None:
+        """Open a run: header plus a ``start`` record per pending key.
+
+        Appends — an interrupted attempt's history stays in the file
+        for post-mortems.  The new header's ``cache_hits`` already
+        counts the prior attempt's finished points (their rows are
+        cache hits now), which is why :meth:`load` only tallies
+        ``done`` records after the latest header.
+        """
+        self._append({
+            "event": "begin", "run_id": run_id, "kind": kind,
+            "total": total, "cache_hits": cache_hits,
+        })
+        for key in pending:
+            self._append({"event": "start", "key": key})
+
+    def mark_done(self, key: str) -> None:
+        self._append({"event": "done", "key": key})
+
+    def mark_interrupted(self) -> None:
+        self._append({"event": "interrupted"})
+
+    def mark_complete(self) -> None:
+        self._append({"event": "complete"})
+        self.close()
+
+    def reset(self) -> None:
+        """Truncate the journal (fresh, non-resumed run)."""
+        self.close()
+        if self.path.exists():
+            self.path.unlink()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- reading ---------------------------------------------------------------------
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def load(self) -> JournalState:
+        """Parse the journal; unreadable lines are skipped, not fatal.
+
+        A journal truncated mid-line by a crash still parses up to the
+        damage — exactly the durability JSONL-with-flush buys.  The
+        most recent ``begin`` header wins and resets the per-attempt
+        ``start``/``done`` lists: a resumed attempt's header already
+        counts the prior attempt's finished points as cache hits, so
+        carrying old ``done`` records forward would double-count them.
+        """
+        state = JournalState()
+        if not self.path.exists():
+            return state
+        with self.path.open() as handle:
+            for line in handle:
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                event = record.get("event")
+                if event == "begin":
+                    state.meta = {
+                        k: v for k, v in record.items() if k != "event"
+                    }
+                    state.started = []
+                    state.done = []
+                    state.interrupted = False
+                    state.complete = False
+                elif event == "start":
+                    if record.get("key") not in state.started:
+                        state.started.append(record.get("key"))
+                elif event == "done":
+                    if record.get("key") not in state.done:
+                        state.done.append(record.get("key"))
+                elif event == "interrupted":
+                    state.interrupted = True
+                elif event == "complete":
+                    state.complete = True
+        return state
+
+    def __repr__(self) -> str:
+        return f"CampaignJournal({str(self.path)!r})"

@@ -11,6 +11,11 @@ networks built from sweep design points (hot-swappable), and
 :class:`~repro.serve.metrics.ServingMetrics` records the latency
 SLO percentiles.  ``python -m repro.serve`` runs a closed-loop load
 generator against the stack.  See ``docs/serving.md``.
+
+Failure handling is opt-in through :mod:`repro.resilience`: request
+deadlines with explicit load shedding, a per-flush
+:class:`~repro.resilience.policy.RetryPolicy`, and per-model circuit
+breakers on the registry (``docs/resilience.md``).
 """
 
 from repro.serve.batcher import BatchPolicy, MicroBatcher

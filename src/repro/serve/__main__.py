@@ -5,6 +5,7 @@ Examples::
     python -m repro.serve --rate 2000 --duration 2
     python -m repro.serve --rate 500 --duration 1 --clients 4 --adaptive
     python -m repro.serve --cell 1RW+2R --max-batch 32 --json serving.json
+    python -m repro.serve --deadline-ms 50 --retries 3 --chaos-flush-p 0.2
 
 Spins up an :class:`~repro.serve.server.InferenceServer` over the
 reference model at the chosen design point, then drives it with
@@ -27,9 +28,11 @@ import time
 import numpy as np
 
 from repro.envinfo import environment_info
-from repro.errors import QueueFullError, ReproError
+from repro.errors import ModelUnavailableError, QueueFullError, ReproError
 from repro.hw.cli import add_hardware_arguments, hardware_from_args
 from repro.learning.pretrained import QUALITY_PRESETS, get_reference_model
+from repro.resilience.chaos import ChaosPolicy
+from repro.resilience.policy import BreakerPolicy, RetryPolicy
 from repro.serve.batcher import BatchPolicy
 from repro.serve.registry import ModelRegistry
 from repro.serve.server import InferenceServer
@@ -99,19 +102,61 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", metavar="PATH", help="write the run report as JSON",
     )
+    resilience = parser.add_argument_group(
+        "resilience", "deadlines, retries, circuit breaking and chaos "
+                      "(all off by default)"
+    )
+    resilience.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-request queueing deadline; expired requests are shed",
+    )
+    resilience.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry transient flush failures up to N times (default: 0)",
+    )
+    resilience.add_argument(
+        "--breaker-threshold", type=int, default=None, metavar="K",
+        help="open a model's circuit after K consecutive flush failures",
+    )
+    resilience.add_argument(
+        "--breaker-cooldown-s", type=float, default=5.0, metavar="S",
+        help="open-circuit cooldown before the half-open probe "
+             "(default: 5.0)",
+    )
+    resilience.add_argument(
+        "--chaos-flush-p", type=float, default=0.0, metavar="P",
+        help="inject transient flush failures with probability P",
+    )
+    resilience.add_argument(
+        "--chaos-spike-ms", type=float, default=0.0, metavar="MS",
+        help="injected pre-flush latency spike size",
+    )
+    resilience.add_argument(
+        "--chaos-spike-p", type=float, default=0.0, metavar="P",
+        help="latency-spike probability per flush attempt",
+    )
+    resilience.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed of the deterministic chaos schedule (default: 0)",
+    )
     return parser
 
 
 def _run_clients(server: InferenceServer, spikes: np.ndarray,
-                 predictions: np.ndarray, rate: float, clients: int) -> None:
+                 predictions: np.ndarray, rate: float, clients: int,
+                 deadline_ms: float | None = None) -> None:
     """Drive the seeded trace through closed-loop client threads.
 
     Request ``i`` targets wall-clock ``start + i/rate``; each client
     owns the requests ``i % clients == k``, waits for every response
-    before its next send (closed loop), and retries on backpressure so
-    no trace row is lost.  A client failure (timeout, serving error)
-    is re-raised here after all threads join — a partially-sent trace
-    must never look like a successful run.
+    before its next send (closed loop), and retries on backpressure
+    (and open circuits) so no trace row is lost.  An *explicit*
+    per-request failure — shed deadline, exhausted flush retries, an
+    abandoned future — leaves its row at ``-1`` and moves on: the
+    server accounted for it, and the accounting check at the end
+    proves nothing was silently dropped.  Anything else (timeout,
+    programming error) is re-raised after all threads join — a
+    partially-sent trace must never look like a successful run.
     """
     start = time.monotonic()
     retry_s = max(server.policy.max_wait_ms / 1e3, 1e-3)
@@ -125,11 +170,16 @@ def _run_clients(server: InferenceServer, spikes: np.ndarray,
                     time.sleep(delay)
                 while True:
                     try:
-                        future = server.submit(MODEL_NAME, spikes[i])
+                        future = server.submit(
+                            MODEL_NAME, spikes[i], deadline_ms=deadline_ms,
+                        )
                         break
-                    except QueueFullError:
+                    except (QueueFullError, ModelUnavailableError):
                         time.sleep(retry_s)
-                predictions[i] = future.result(timeout=60.0)
+                try:
+                    predictions[i] = future.result(timeout=60.0)
+                except ReproError:
+                    pass  # explicitly failed; row stays -1, accounted
         except Exception as error:  # noqa: BLE001 - re-raised below
             errors.append(error)
 
@@ -163,15 +213,31 @@ def main(argv: list[str] | None = None) -> int:
             hardware=hardware, engine=args.engine, quality=args.quality,
         )
         reference = get_reference_model(args.quality, seed)
-        registry = ModelRegistry()
+        breaker = None
+        if args.breaker_threshold is not None:
+            breaker = BreakerPolicy(
+                failure_threshold=args.breaker_threshold,
+                cooldown_s=args.breaker_cooldown_s,
+            )
+        registry = ModelRegistry(breaker=breaker)
         registry.register(MODEL_NAME, point, snn=reference.snn)
         policy = BatchPolicy(
             max_batch_size=args.max_batch, max_wait_ms=args.max_wait_ms,
             adaptive=args.adaptive,
         )
+        retry = None
+        if args.retries > 0:
+            retry = RetryPolicy(retries=args.retries, seed=seed)
+        chaos = ChaosPolicy(
+            seed=args.chaos_seed,
+            flush_error_p=args.chaos_flush_p,
+            latency_spike_ms=args.chaos_spike_ms,
+            latency_spike_p=args.chaos_spike_p,
+        )
         server = InferenceServer(
             registry, policy=policy, max_queue_depth=args.queue_depth,
-            engine=args.engine,
+            engine=args.engine, retry=retry,
+            chaos=chaos if chaos.active else None,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -192,20 +258,35 @@ def main(argv: list[str] | None = None) -> int:
     )
     try:
         with server:
-            _run_clients(server, spikes, served, args.rate, args.clients)
+            _run_clients(server, spikes, served, args.rate, args.clients,
+                         deadline_ms=args.deadline_ms)
     except Exception as error:  # noqa: BLE001 - CLI boundary
         print(f"error: load generation failed: {error!r}", file=sys.stderr)
         return 1
     print(server.metrics.summary())
 
+    # The no-silent-drops invariant: every admitted request must have
+    # been completed, explicitly failed, or shed.
+    counts = server.metrics.to_dict()
+    accounted = (counts["submitted"]
+                 == counts["completed"] + counts["failed"] + counts["shed"])
+    print(f"accounting: submitted == completed + failed + shed: "
+          f"{'OK' if accounted else 'VIOLATED'}")
+
     verified = None
     if not args.no_verify:
+        # Shed or failed requests never produced a prediction; verify
+        # the ones that did (all of them, in the default fault-free run).
+        answered = served >= 0
         offline = registry.get(MODEL_NAME).classify_batch(
             spikes, engine=args.engine
         )
-        verified = bool(np.array_equal(served, offline))
+        verified = bool(np.array_equal(served[answered], offline[answered]))
+        suffix = "" if bool(answered.all()) else (
+            f" over {int(answered.sum())}/{len(served)} answered requests"
+        )
         print(f"offline classify_batch equivalence: "
-              f"{'OK (bit-identical)' if verified else 'MISMATCH'}")
+              f"{'OK (bit-identical)' if verified else 'MISMATCH'}{suffix}")
 
     if args.json:
         report = {
@@ -218,8 +299,16 @@ def main(argv: list[str] | None = None) -> int:
                 "max_wait_ms": args.max_wait_ms,
                 "adaptive": args.adaptive,
             },
-            "metrics": server.metrics.to_dict(),
+            "resilience": {
+                "deadline_ms": args.deadline_ms,
+                "retries": args.retries,
+                "breaker_threshold": args.breaker_threshold,
+                "chaos_active": chaos.active,
+                "chaos_seed": args.chaos_seed,
+            },
+            "metrics": counts,
             "verified_vs_offline": verified,
+            "accounted": accounted,
             "hardware": hardware.to_dict(),
             "environment": environment_info(),
         }
@@ -228,7 +317,11 @@ def main(argv: list[str] | None = None) -> int:
             handle.write("\n")
         print(f"wrote {args.json}")
 
-    if verified is False or server.metrics.failed:
+    if verified is False or not accounted:
+        return 1
+    if server.metrics.failed and not chaos.active:
+        # Failures are deliberate under chaos (and accounted above);
+        # in a clean run any failure is a real problem.
         return 1
     return 0
 

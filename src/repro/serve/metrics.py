@@ -44,12 +44,25 @@ def latency_percentiles(samples_ms, percentiles=SLO_PERCENTILES) -> dict:
 class ServingMetrics:
     """Thread-safe collector for one serving run.
 
-    Records four counters (submitted / completed / failed / rejected),
-    per-request latencies, and exact histograms of flushed batch sizes
-    and queue depth observed at submit time.  ``rejected`` counts
-    :class:`~repro.errors.QueueFullError` backpressure events — a
-    rejected request was never admitted, so it appears in no other
-    counter.
+    Records the admission counters (submitted / completed / failed /
+    shed), the fail-fast counters (rejected / broken_circuit), the
+    retry counter, per-request latencies, and exact histograms of
+    flushed batch sizes and queue depth observed at submit time.
+
+    Accounting invariant — no admitted request is ever silently
+    dropped, so at the end of any drained run::
+
+        submitted == completed + failed + shed
+
+    ``rejected`` counts :class:`~repro.errors.QueueFullError`
+    backpressure events and ``broken_circuit`` counts
+    :class:`~repro.errors.ModelUnavailableError` fail-fasts — neither
+    was admitted, so they appear in no other counter.  ``shed`` counts
+    admitted requests failed with
+    :class:`~repro.errors.DeadlineExceededError` before dispatch
+    (explicit load shedding), and ``retried`` counts transient flush
+    failures absorbed by the
+    :class:`~repro.resilience.policy.RetryPolicy`.
     """
 
     def __init__(self, clock=time.perf_counter) -> None:
@@ -59,6 +72,9 @@ class ServingMetrics:
         self.completed = 0
         self.failed = 0
         self.rejected = 0
+        self.shed = 0
+        self.retried = 0
+        self.broken_circuit = 0
         self._latencies_ms: list[float] = []
         self._batch_sizes: Counter[int] = Counter()
         self._queue_depths: Counter[int] = Counter()
@@ -98,6 +114,21 @@ class ServingMetrics:
         with self._lock:
             self.failed += count
 
+    def record_shed(self, count: int = 1) -> None:
+        """Admitted requests failed fast because their deadline expired."""
+        with self._lock:
+            self.shed += count
+
+    def record_retried(self, count: int = 1) -> None:
+        """Transient flush failures absorbed by the retry policy."""
+        with self._lock:
+            self.retried += count
+
+    def record_broken_circuit(self, count: int = 1) -> None:
+        """Submissions failed fast because the model's circuit is open."""
+        with self._lock:
+            self.broken_circuit += count
+
     # -- roll-ups --------------------------------------------------------------------
 
     @property
@@ -133,6 +164,9 @@ class ServingMetrics:
                 "completed": self.completed,
                 "failed": self.failed,
                 "rejected": self.rejected,
+                "shed": self.shed,
+                "retried": self.retried,
+                "broken_circuit": self.broken_circuit,
             }
         out = {
             **counters,
@@ -164,10 +198,14 @@ class ServingMetrics:
         lines = [
             f"requests: {data['submitted']} submitted, "
             f"{data['completed']} completed, {data['failed']} failed, "
-            f"{data['rejected']} rejected (backpressure)",
+            f"{data['shed']} shed (deadline), "
+            f"{data['rejected']} rejected (backpressure), "
+            f"{data['broken_circuit']} broken-circuit",
             f"throughput: {data['achieved_inf_s']:,.0f} inf/s over "
             f"{data['elapsed_s']:.2f}s",
         ]
+        if data["retried"]:
+            lines.append(f"transient flush retries: {data['retried']}")
         if "latency" in data:
             lat = data["latency"]
             lines.append(

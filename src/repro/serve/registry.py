@@ -17,15 +17,32 @@ Hot swap comes in two flavours:
 * **whole-network replacement** via :meth:`ModelRegistry.swap`, which
   atomically rebinds a name to a new network with the same interface
   (input width / class count), for staged rollouts of retrained models.
+
+When constructed with a :class:`~repro.resilience.policy.BreakerPolicy`
+the registry also keeps one :class:`~repro.resilience.policy.
+CircuitBreaker` per model: the server reports every flush outcome
+(:meth:`ModelRegistry.record_flush_success` /
+:meth:`~ModelRegistry.record_flush_failure`) and gates admission
+through :meth:`ModelRegistry.check`, which raises
+:class:`~repro.errors.ModelUnavailableError` while a model's circuit
+is open.  After the cooldown one probe request is admitted half-open;
+its flush outcome closes or reopens the circuit.  Swapping a model
+resets its breaker — a fresh network starts with a clean record.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import threading
+import time
 from dataclasses import dataclass
 
-from repro.errors import ConfigurationError, ServingError
+from repro.errors import (
+    ConfigurationError,
+    ModelUnavailableError,
+    ServingError,
+)
+from repro.resilience.policy import BreakerPolicy, CircuitBreaker
 from repro.learning.convert import ConvertedSNN
 from repro.learning.pretrained import get_reference_model
 from repro.sweep.spec import DesignPoint
@@ -90,11 +107,28 @@ def build_network(point: DesignPoint,
 
 
 class ModelRegistry:
-    """Thread-safe name -> network mapping used by the server."""
+    """Thread-safe name -> network mapping used by the server.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    breaker:
+        Optional :class:`BreakerPolicy`; when given, every registered
+        model gets its own :class:`CircuitBreaker` and the serving
+        layer's :meth:`check`/:meth:`record_flush_success`/
+        :meth:`record_flush_failure` hooks become live.  Without it
+        they are no-ops and admission is never gated.
+    clock:
+        Monotonic clock the breakers measure cooldowns against
+        (injectable for tests).
+    """
+
+    def __init__(self, breaker: BreakerPolicy | None = None,
+                 clock=time.monotonic) -> None:
         self._lock = threading.RLock()
         self._models: dict[str, RegisteredModel] = {}
+        self._breaker_policy = breaker
+        self._clock = clock
+        self._breakers: dict[str, CircuitBreaker] = {}
 
     # -- registration ---------------------------------------------------------------
 
@@ -118,6 +152,10 @@ class ModelRegistry:
             self._models[name] = RegisteredModel(
                 name=name, network=network, point=point
             )
+            if self._breaker_policy is not None:
+                self._breakers[name] = CircuitBreaker(
+                    self._breaker_policy, clock=self._clock
+                )
         return network
 
     def swap(self, name: str, network: EsamNetwork,
@@ -142,6 +180,11 @@ class ModelRegistry:
             self._models[name] = RegisteredModel(
                 name=name, network=network, point=point
             )
+            if self._breaker_policy is not None:
+                # A fresh network starts with a clean failure record.
+                self._breakers[name] = CircuitBreaker(
+                    self._breaker_policy, clock=self._clock
+                )
             return old
 
     def attach_reliability(self, name: str, campaign,
@@ -186,8 +229,58 @@ class ModelRegistry:
                 ) from None
 
     def get(self, name: str) -> EsamNetwork:
-        """The live network for ``name`` (raises :class:`ServingError`)."""
+        """The live network for ``name`` (raises :class:`ServingError`).
+
+        Deliberately *not* gated by the circuit breaker: in-flight
+        batches, retries and half-open probes must still be able to
+        fetch the network after the circuit opened.  Admission-time
+        gating is :meth:`check`.
+        """
         return self.entry(name).network
+
+    # -- circuit breaking -----------------------------------------------------------
+
+    def check(self, name: str) -> EsamNetwork:
+        """Admission gate: the network, if ``name``'s circuit admits it.
+
+        Raises :class:`ServingError` for unknown names and
+        :class:`ModelUnavailableError` while the model's circuit is
+        open.  In half-open state exactly one call is admitted as the
+        probe; concurrent callers fail fast until its flush outcome is
+        reported.  Without a breaker policy this is just :meth:`get`.
+        """
+        with self._lock:
+            network = self.get(name)
+            breaker = self._breakers.get(name)
+            if breaker is not None and not breaker.allow():
+                raise ModelUnavailableError(
+                    f"model {name!r} is unavailable: circuit "
+                    f"{breaker.state} after {breaker.consecutive_failures} "
+                    f"consecutive flush failures; retry after the "
+                    f"{breaker.policy.cooldown_s:g}s cooldown"
+                )
+            return network
+
+    def record_flush_success(self, name: str) -> None:
+        """Close ``name``'s circuit (no-op without a breaker policy)."""
+        with self._lock:
+            breaker = self._breakers.get(name)
+            if breaker is not None:
+                breaker.record_success()
+
+    def record_flush_failure(self, name: str) -> None:
+        """Count one flush failure against ``name``'s circuit."""
+        with self._lock:
+            breaker = self._breakers.get(name)
+            if breaker is not None:
+                breaker.record_failure()
+
+    def circuit_state(self, name: str) -> str | None:
+        """``"closed"``/``"open"``/``"half_open"``, or ``None`` if ungated."""
+        with self._lock:
+            self.entry(name)  # raise ServingError for unknown names
+            breaker = self._breakers.get(name)
+            return None if breaker is None else breaker.state
 
     def names(self) -> list[str]:
         with self._lock:
@@ -196,7 +289,17 @@ class ModelRegistry:
     def describe(self) -> list[dict]:
         with self._lock:
             entries = list(self._models.values())
-        return [entry.describe() for entry in entries]
+            states = {
+                name: breaker.state
+                for name, breaker in self._breakers.items()
+            }
+        out = []
+        for entry in entries:
+            described = entry.describe()
+            if entry.name in states:
+                described["circuit"] = states[entry.name]
+            out.append(described)
+        return out
 
     def __contains__(self, name: str) -> bool:
         with self._lock:

@@ -12,9 +12,22 @@ Backpressure is explicit and accounted: the server admits at most
 resolved); beyond that, :meth:`submit` raises
 :class:`~repro.errors.QueueFullError` without enqueueing anything.  No
 admitted request is ever dropped silently — every future is resolved
-with a prediction, failed with the inference exception, or failed with
+with a prediction, failed with the inference exception, failed with
+:class:`~repro.errors.DeadlineExceededError` when its deadline expired
+before dispatch (load shedding), or failed with
 :class:`~repro.errors.ServingError` if the server stops without
-draining.
+draining or its dispatch thread dies.  At the end of any run,
+``submitted == completed + failed + shed`` holds exactly (the metrics
+invariant the chaos acceptance suite asserts).
+
+Resilience hooks are all opt-in: a
+:class:`~repro.resilience.policy.RetryPolicy` absorbs transient flush
+failures with seeded backoff, a registry constructed with a
+:class:`~repro.resilience.policy.BreakerPolicy` fail-fasts admission
+per model while its circuit is open
+(:class:`~repro.errors.ModelUnavailableError`), and a
+:class:`~repro.resilience.chaos.ChaosPolicy` injects deterministic
+flush faults and latency spikes for the acceptance tests.
 
 Predictions are deterministic: ``infer_batch`` is split-invariant (a
 property the test suite asserts), so however arrival timing partitions
@@ -31,7 +44,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ConfigurationError, QueueFullError, ServingError
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    ModelUnavailableError,
+    QueueFullError,
+    ServingError,
+)
+from repro.resilience.chaos import ChaosPolicy
+from repro.resilience.policy import RetryPolicy
 from repro.serve.batcher import BatchPolicy, MicroBatcher
 from repro.serve.metrics import ServingMetrics
 from repro.serve.registry import ModelRegistry
@@ -45,6 +66,9 @@ class _Request:
     model: str
     spikes: np.ndarray
     submitted_at: float
+    #: Absolute clock time after which the request is shed instead of
+    #: dispatched (``None`` = no deadline).
+    deadline_at: float | None = None
     future: Future = field(default_factory=Future)
 
 
@@ -66,6 +90,18 @@ class InferenceServer:
         ``"cycle"`` serves bit-identical predictions slowly).
     metrics:
         Optional externally-owned :class:`ServingMetrics` collector.
+    retry:
+        Optional :class:`RetryPolicy` applied to every micro-batch
+        flush: transient failures (:data:`~repro.resilience.policy.
+        TRANSIENT_ERRORS`) are retried with seeded backoff before the
+        batch is failed.  Each absorbed retry is counted in
+        ``metrics.retried`` and reported to the registry's circuit
+        breaker.
+    chaos:
+        Optional :class:`ChaosPolicy`; when active, every flush attempt
+        first runs the policy's deterministic fault schedule (latency
+        spikes, injected flush errors).  Test-harness knob — leave
+        ``None`` in real serving.
     """
 
     def __init__(self, registry: ModelRegistry,
@@ -73,6 +109,8 @@ class InferenceServer:
                  max_queue_depth: int = 256,
                  engine: str = "fast",
                  metrics: ServingMetrics | None = None,
+                 retry: RetryPolicy | None = None,
+                 chaos: ChaosPolicy | None = None,
                  clock=time.monotonic) -> None:
         validate_engine(engine)
         if max_queue_depth < 1:
@@ -84,12 +122,20 @@ class InferenceServer:
         self.max_queue_depth = max_queue_depth
         self.engine = engine
         self.metrics = metrics or ServingMetrics()
+        self.retry = retry
+        self.chaos = chaos if chaos is not None and chaos.active else None
         self._clock = clock
         self._cond = threading.Condition()
         self._inbox: list[_Request] = []
+        #: The batch currently being flushed — tracked so a dispatch
+        #: crash mid-flush can still fail its futures (the batcher no
+        #: longer holds them).
+        self._flushing: list[_Request] = []
         self._batchers: dict[str, MicroBatcher] = {}
+        self._flush_counts: dict[str, int] = {}
         self._in_flight = 0
         self._running = False
+        self._failed = False
         self._drain_on_stop = True
         self._thread: threading.Thread | None = None
 
@@ -101,6 +147,7 @@ class InferenceServer:
             if self._running:
                 return self
             self._running = True
+            self._failed = False
         self._thread = threading.Thread(
             target=self._dispatch_loop, name="repro-serve-dispatch",
             daemon=True,
@@ -138,6 +185,12 @@ class InferenceServer:
         return self._running
 
     @property
+    def failed(self) -> bool:
+        """Did the dispatch thread die?  Terminal until :meth:`start`."""
+        with self._cond:
+            return self._failed
+
+    @property
     def in_flight(self) -> int:
         """Requests admitted but not yet resolved."""
         with self._cond:
@@ -145,17 +198,36 @@ class InferenceServer:
 
     # -- client API -----------------------------------------------------------------
 
-    def submit(self, model: str, spikes: np.ndarray) -> Future:
+    def submit(self, model: str, spikes: np.ndarray,
+               deadline_ms: float | None = None) -> Future:
         """Admit one request; returns a future resolving to the class.
 
         Validates the model name and spike vector *before* admission
         and raises :class:`QueueFullError` when ``max_queue_depth``
         requests are already in flight (explicit backpressure — the
-        request is not enqueued).
+        request is not enqueued).  When the registry runs circuit
+        breakers, an open circuit raises
+        :class:`~repro.errors.ModelUnavailableError` instead of
+        admitting a doomed request.
+
+        ``deadline_ms`` bounds the request's queueing time: if the
+        deadline has passed when the dispatch loop reaches the request,
+        it is shed — its future fails with
+        :class:`~repro.errors.DeadlineExceededError` without ever
+        touching the engine, and the shed is counted in the metrics.
         """
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ConfigurationError(
+                f"deadline_ms must be > 0 when set, got {deadline_ms}"
+            )
         network = self.registry.get(model)
         spikes = validate_spikes(spikes, network.tiles[0].n_in)
         with self._cond:
+            if self._failed:
+                raise ServingError(
+                    "the server's dispatch thread crashed; restart the "
+                    "server before submitting"
+                )
             if not self._running:
                 raise ServingError("the server is not running; call start()")
             if self._in_flight >= self.max_queue_depth:
@@ -164,9 +236,22 @@ class InferenceServer:
                     f"request queue is full ({self._in_flight} in flight, "
                     f"max_queue_depth={self.max_queue_depth}); retry later"
                 )
+            # Breaker gate *after* the depth check, so a half-open
+            # probe slot is only consumed by a request that would
+            # actually be admitted.
+            try:
+                self.registry.check(model)
+            except ModelUnavailableError:
+                self.metrics.record_broken_circuit()
+                raise
+            now = self._clock()
+            deadline_at = (
+                now + deadline_ms / 1e3 if deadline_ms is not None else None
+            )
             self._in_flight += 1
             request = _Request(
-                model=model, spikes=spikes, submitted_at=self._clock(),
+                model=model, spikes=spikes, submitted_at=now,
+                deadline_at=deadline_at,
             )
             self._inbox.append(request)
             self.metrics.record_submitted(queue_depth=self._in_flight)
@@ -195,6 +280,47 @@ class InferenceServer:
         return min(deadlines) if deadlines else None
 
     def _dispatch_loop(self) -> None:
+        """Thread body: the loop, wrapped so a crash is never silent.
+
+        If the loop itself dies (a bug, or a test sabotaging it) every
+        pending future is failed with :class:`ServingError` and the
+        server enters a terminal ``failed`` state — no client is left
+        waiting on a future nobody will ever resolve.
+        """
+        try:
+            self._dispatch_forever()
+        except BaseException as error:  # noqa: BLE001 - must fail pending
+            self._fail_pending(error)
+            raise
+
+    def _fail_pending(self, error: BaseException) -> None:
+        """Dispatch died: fail every admitted-but-unresolved future."""
+        failure = ServingError(
+            f"the dispatch thread crashed ({type(error).__name__}: {error}); "
+            "pending requests abandoned"
+        )
+        failure.__cause__ = error
+        with self._cond:
+            self._failed = True
+            self._running = False
+            pending = [*self._flushing, *self._inbox]
+            self._flushing = []
+            self._inbox = []
+        for batcher in self._batchers.values():
+            for batch in batcher.drain():
+                pending.extend(batch)
+        abandoned = 0
+        for request in pending:
+            if not request.future.done():
+                request.future.set_exception(failure)
+                abandoned += 1
+        if abandoned:
+            self.metrics.record_failed(abandoned)
+        with self._cond:
+            self._in_flight -= len(pending)
+            self._cond.notify_all()
+
+    def _dispatch_forever(self) -> None:
         while True:
             with self._cond:
                 if (self._running and not self._inbox
@@ -224,7 +350,10 @@ class InferenceServer:
             now = self._clock()
             for model, batcher in self._batchers.items():
                 while batcher.ready(now):
-                    self._run_batch(model, batcher.take(now))
+                    batch = batcher.take(now)
+                    self._flushing = batch
+                    self._run_batch(model, batch)
+                    self._flushing = []
                     now = self._clock()
 
     def _shutdown_flush(self) -> None:
@@ -237,7 +366,9 @@ class InferenceServer:
         for model, batcher in self._batchers.items():
             for batch in batcher.drain():
                 if self._drain_on_stop:
+                    self._flushing = batch
                     self._run_batch(model, batch)
+                    self._flushing = []
                 else:
                     error = ServingError(
                         "server stopped without draining; request abandoned"
@@ -249,23 +380,67 @@ class InferenceServer:
                         self._in_flight -= len(batch)
 
     def _run_batch(self, model: str, requests: list[_Request]) -> None:
-        """One coalesced ``infer_batch`` call; resolves every future."""
+        """One coalesced ``infer_batch`` call; resolves every future.
+
+        Deadline-expired requests are shed first (failed with
+        :class:`DeadlineExceededError`, never inferred); the live rest
+        flush through the engine under the retry policy, with every
+        outcome reported to the registry's circuit breaker.
+        """
         if not requests:
             return
-        batch = np.stack([r.spikes for r in requests])
-        try:
+        now = self._clock()
+        live: list[_Request] = []
+        doomed: list[_Request] = []
+        for request in requests:
+            if request.deadline_at is not None and request.deadline_at <= now:
+                doomed.append(request)
+            else:
+                live.append(request)
+        if doomed:
+            for request in doomed:
+                overdue_ms = (now - request.deadline_at) * 1e3
+                request.future.set_exception(DeadlineExceededError(
+                    f"deadline expired {overdue_ms:.1f} ms before dispatch; "
+                    "request shed"
+                ))
+            self.metrics.record_shed(len(doomed))
+            with self._cond:
+                self._in_flight -= len(doomed)
+                self._cond.notify_all()
+        if not live:
+            return
+        batch = np.stack([r.spikes for r in live])
+        flush_index = self._flush_counts.get(model, 0)
+        self._flush_counts[model] = flush_index + 1
+
+        def flush(attempt: int):
+            if self.chaos is not None:
+                self.chaos.on_flush(f"{model}/{flush_index}", attempt)
             network = self.registry.get(model)
-            predictions = network.classify_batch(batch, engine=self.engine)
+            return network.classify_batch(batch, engine=self.engine)
+
+        def on_retry(attempt, error, delay_ms) -> None:
+            self.metrics.record_retried()
+            self.registry.record_flush_failure(model)
+
+        try:
+            if self.retry is not None:
+                predictions = self.retry.call(flush, on_retry=on_retry)
+            else:
+                predictions = flush(0)
         except Exception as error:  # noqa: BLE001 - forwarded to callers
-            for request in requests:
+            self.registry.record_flush_failure(model)
+            for request in live:
                 request.future.set_exception(error)
-            self.metrics.record_failed(len(requests))
+            self.metrics.record_failed(len(live))
         else:
+            self.registry.record_flush_success(model)
             done = self._clock()
-            self.metrics.record_batch(len(requests))
-            for request, prediction in zip(requests, predictions):
+            self.metrics.record_batch(len(live))
+            for request, prediction in zip(live, predictions):
                 request.future.set_result(int(prediction))
                 self.metrics.record_completed(done - request.submitted_at)
         with self._cond:
-            self._in_flight -= len(requests)
+            self._in_flight -= len(live)
             self._cond.notify_all()

@@ -16,6 +16,12 @@ itself sweep.  Re-running a sweep with an unchanged model serves every
 point from the on-disk cache (``.artifacts/sweep_cache/`` by default)
 and finishes in milliseconds; ``--cache-dir`` relocates the cache,
 ``--no-cache`` forces fresh evaluation.
+
+Cached sweeps are interruptible: every finished point is committed to
+the cache (and journaled) as it completes, so Ctrl-C flushes partial
+results, prints a resume hint and exits 130.  ``--resume`` reports the
+journal state before re-running — only unfinished points are
+evaluated, finished ones are cache hits (zero recomputation).
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from repro.hw.cli import (
     narrowed_axes,
 )
 from repro.learning.pretrained import QUALITY_PRESETS
+from repro.resilience.cli import print_interrupted, report_resume
 from repro.sweep.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.sweep.runner import SweepRunner
 from repro.sweep.spec import NAMED_SWEEPS
@@ -81,6 +88,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate every point fresh, do not read or write the cache",
     )
     parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted run: report the journal state, then "
+             "evaluate only the unfinished points (needs the cache)",
+    )
+    parser.add_argument(
         "--claims", action="store_true",
         help="also print the headline claims derived from the rows",
     )
@@ -125,13 +137,19 @@ def main(argv: list[str] | None = None) -> int:
     kwargs.update(narrowed_axes(args, hardware, accepted))
     spec = factory(**kwargs)
     if args.no_cache:
+        if args.resume:
+            parser.error("--resume needs the cache; drop --no-cache")
         cache: ResultCache | None = None
     else:
         cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
 
     try:
         runner = SweepRunner(spec, n_workers=args.workers, cache=cache)
+        if args.resume:
+            report_resume(runner, "sweep")
         result = runner.run()
+    except KeyboardInterrupt:
+        return print_interrupted("python -m repro.sweep", argv)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -25,11 +25,21 @@ historical serial ``figure8()`` loop, float for float.
 from __future__ import annotations
 
 import concurrent.futures
+import inspect
+import multiprocessing
+import os
+import pathlib
+import sys
+import threading
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, WorkerCrashError
 from repro.learning.convert import ConvertedSNN
 from repro.learning.pretrained import get_reference_model
+from repro.resilience.chaos import ChaosPolicy
+from repro.resilience.journal import CampaignJournal, run_id_for
+from repro.resilience.policy import SupervisorPolicy
 from repro.system.config import SystemConfig
 from repro.system.energy import SystemMetrics
 from repro.system.evaluate import SystemEvaluator
@@ -105,24 +115,203 @@ def _evaluate_task(payload: tuple[DesignPoint, ConvertedSNN | None],
 # is implemented once.
 
 
-def shard_map(task, payloads: list, n_workers: int) -> list:
+def _watchdog_kill(site, watchdog_s: float) -> None:
+    """Worker-side watchdog action: a hung point becomes a crash.
+
+    ``os._exit`` is deliberate — the point is wedged, so the only safe
+    recovery is the supervisor's crash path (rebuild the pool, charge
+    the point's retry budget).  The write to stderr survives because
+    worker stderr is inherited from the parent.
+    """
+    sys.stderr.write(
+        f"\nrepro: shard watchdog fired — payload {site} exceeded "
+        f"{watchdog_s:g}s; killing worker so the supervisor can retry\n"
+    )
+    sys.stderr.flush()
+    os._exit(87)
+
+
+def _supervised_call(task, payload, chaos: ChaosPolicy | None, site,
+                     attempt: int, watchdog_s: float | None):
+    """Run one payload under the chaos schedule and wall-clock watchdog."""
+    if chaos is not None:
+        chaos.maybe_crash_worker(site, attempt)
+    timer = None
+    if (watchdog_s is not None
+            and multiprocessing.parent_process() is not None):
+        timer = threading.Timer(
+            watchdog_s, _watchdog_kill, args=(site, watchdog_s)
+        )
+        timer.daemon = True
+        timer.start()
+    try:
+        return task(payload)
+    finally:
+        if timer is not None:
+            timer.cancel()
+
+
+def _supervised_task(args):
+    """Module-level worker entry point for supervised shards."""
+    return _supervised_call(*args)
+
+
+def _supervised_serial(task, payloads: list, policy: SupervisorPolicy,
+                       chaos: ChaosPolicy | None, on_done) -> list:
+    """In-process supervised loop (``n_workers == 1``).
+
+    Chaos worker crashes degrade to :class:`WorkerCrashError` here
+    (killing the only process would kill the campaign), and the
+    supervisor handles them identically: bounded re-queue, then give
+    up naming the payload.  The watchdog does not apply in-process.
+    """
+    results = [None] * len(payloads)
+    budgets = {i: policy.retry_budget for i in range(len(payloads))}
+    queue = [(i, 0) for i in range(len(payloads))]
+    while queue:
+        index, attempt = queue.pop(0)
+        try:
+            result = _supervised_call(
+                task, payloads[index], chaos, index, attempt, None
+            )
+        except WorkerCrashError:
+            budgets[index] -= 1
+            if budgets[index] < 0:
+                raise WorkerCrashError(
+                    f"shard payload {index} crashed beyond the retry "
+                    f"budget ({policy.retry_budget} retries)"
+                ) from None
+            queue.append((index, attempt + 1))
+            continue
+        results[index] = result
+        if on_done is not None:
+            on_done(index, result)
+    return results
+
+
+def _supervised_pool(task, payloads: list, n_workers: int,
+                     policy: SupervisorPolicy, chaos: ChaosPolicy | None,
+                     on_done) -> list:
+    """Process-pool execution that survives ``BrokenProcessPool``.
+
+    Each payload is submitted individually; when a worker dies (real
+    crash, watchdog kill, or injected chaos) the broken pool is torn
+    down, a fresh one is built, and every unfinished payload is
+    re-queued.  Retry budgets are charged to the *culprit* when the
+    chaos schedule can name it (the schedule is deterministic, so the
+    parent recomputes who was due to crash); an unattributable crash
+    charges every unfinished payload — bounded either way.  Completed
+    payloads are reported through ``on_done`` as they finish, in
+    completion order, while ``results`` stay in input order.
+    """
+    results = [None] * len(payloads)
+    attempts = {i: 0 for i in range(len(payloads))}
+    budgets = {i: policy.retry_budget for i in range(len(payloads))}
+    remaining = set(range(len(payloads)))
+    while remaining:
+        workers = min(n_workers, len(remaining))
+        pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+        futures = {
+            pool.submit(
+                _supervised_task,
+                (task, payloads[i], chaos, i, attempts[i],
+                 policy.watchdog_s),
+            ): i
+            for i in sorted(remaining)
+        }
+        crashed: list[int] = []
+        try:
+            for future in concurrent.futures.as_completed(futures):
+                index = futures[future]
+                try:
+                    result = future.result()
+                except BrokenProcessPool:
+                    crashed.append(index)
+                    continue
+                results[index] = result
+                remaining.discard(index)
+                if on_done is not None:
+                    on_done(index, result)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        if not crashed:
+            continue
+        if chaos is not None and chaos.active:
+            culprits = [
+                i for i in crashed
+                if chaos.should_crash_worker(i, attempts[i])
+            ]
+            if not culprits:  # a real (non-injected) crash under chaos
+                culprits = crashed
+        else:
+            culprits = crashed
+        for index in culprits:
+            budgets[index] -= 1
+            if budgets[index] < 0:
+                raise WorkerCrashError(
+                    f"shard payload {index} crashed/hung beyond the retry "
+                    f"budget ({policy.retry_budget} retries)"
+                )
+            attempts[index] += 1
+    return results
+
+
+def shard_map(task, payloads: list, n_workers: int, *,
+              supervisor: SupervisorPolicy | None = None,
+              chaos: ChaosPolicy | None = None,
+              on_done=None) -> list:
     """``[task(p) for p in payloads]``, optionally across processes.
 
     ``task`` must be a module-level (picklable) callable when
     ``n_workers > 1``.  Results come back in input order, so callers
     are bit-identical for any worker count by construction.
+
+    Supervision (any of ``supervisor``, an active ``chaos`` policy, or
+    an ``on_done`` callback) switches to per-payload submission with
+    crash recovery: worker deaths re-queue the unfinished payloads to a
+    rebuilt pool under a bounded retry budget, a hung payload is killed
+    by the worker-side watchdog and retried the same way, and
+    ``on_done(index, result)`` fires in the parent as each payload
+    completes (this is what makes campaign caching incremental, hence
+    crash-safe).  Because tasks are pure functions of their payloads,
+    re-execution cannot change any result — supervised runs stay
+    bit-identical to fault-free ones.
     """
     if n_workers < 1:
         raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+    chaos_active = chaos is not None and chaos.active
+    plain = supervisor is None and not chaos_active and on_done is None
     if n_workers == 1 or len(payloads) <= 1:
-        return [task(payload) for payload in payloads]
-    workers = min(n_workers, len(payloads))
-    with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(task, payloads))
+        if plain:
+            return [task(payload) for payload in payloads]
+        return _supervised_serial(
+            task, payloads, supervisor or SupervisorPolicy(),
+            chaos if chaos_active else None, on_done,
+        )
+    if plain:
+        workers = min(n_workers, len(payloads))
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(task, payloads))
+    return _supervised_pool(
+        task, payloads, n_workers, supervisor or SupervisorPolicy(),
+        chaos if chaos_active else None, on_done,
+    )
+
+
+def _accepts_on_done(evaluate) -> bool:
+    """Does the evaluate callback take an ``on_done`` keyword?"""
+    try:
+        parameters = inspect.signature(evaluate).parameters
+    except (TypeError, ValueError):
+        return False
+    return "on_done" in parameters or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
 
 
 def run_cached_points(points: list, *, cache: ResultCache | None,
                       key_fn, load_row, dump_row, evaluate,
+                      journal_dir=None, kind: str = "entries",
                       ) -> tuple[list, SweepStats]:
     """Satisfy ``points`` from ``cache``, evaluating only the misses.
 
@@ -137,15 +326,30 @@ def run_cached_points(points: list, *, cache: ResultCache | None,
     evaluate:
         ``list of miss points -> list of rows`` in input order (this is
         where callers shard across workers, e.g. via :func:`shard_map`).
+        When the callable accepts an ``on_done(position, row)`` keyword
+        it is invoked with one, and each completed row is cached (and
+        journaled) the moment it lands — so an interrupted run keeps
+        everything finished so far.
+    journal_dir:
+        Directory for the crash-safe :class:`CampaignJournal` (usually
+        ``<cache root>/journal``); ``None`` disables journaling.  The
+        journal file is named from ``kind`` plus a run id derived from
+        the full key set, so re-running the same campaign resumes the
+        same journal.
 
     Returns the rows in ``points`` order plus hit/evaluated statistics.
+    ``KeyboardInterrupt`` marks the journal interrupted and propagates
+    — partial results are already cached, so a ``--resume`` re-run
+    recomputes nothing that finished.
     """
     stats = SweepStats()
     rows: list = [None] * len(points)
     misses: list[_WorkItem] = []
+    all_keys: list[str] = []
     if cache is not None:
         for index, point in enumerate(points):
             key = key_fn(point)
+            all_keys.append(key)
             cached = cache.get(key)
             if cached is not None:
                 rows[index] = load_row(cached)
@@ -157,11 +361,54 @@ def run_cached_points(points: list, *, cache: ResultCache | None,
             _WorkItem(index=i, point=p, key="") for i, p in enumerate(points)
         ]
 
-    for item, row in zip(misses, evaluate([item.point for item in misses])):
+    journal: CampaignJournal | None = None
+    if journal_dir is not None and cache is not None:
+        run_id = run_id_for(all_keys)
+        journal = CampaignJournal(
+            pathlib.Path(journal_dir) / f"{kind}-{run_id}.jsonl"
+        )
+        journal.begin(
+            run_id=run_id, kind=kind, total=len(points),
+            cache_hits=stats.cache_hits,
+            pending=[item.key for item in misses],
+        )
+
+    done_positions: set[int] = set()
+
+    def on_done(position: int, row) -> None:
+        item = misses[position]
         if cache is not None:
             cache.put(item.key, dump_row(row))
+        if journal is not None:
+            journal.mark_done(item.key)
         rows[item.index] = row
         stats.evaluated += 1
+        done_positions.add(position)
+
+    miss_points = [item.point for item in misses]
+    try:
+        if _accepts_on_done(evaluate):
+            evaluated = evaluate(miss_points, on_done=on_done)
+        else:
+            evaluated = evaluate(miss_points)
+        for position, (item, row) in enumerate(zip(misses, evaluated)):
+            if position in done_positions:
+                continue
+            if cache is not None:
+                cache.put(item.key, dump_row(row))
+            if journal is not None:
+                journal.mark_done(item.key)
+            rows[item.index] = row
+            stats.evaluated += 1
+        if journal is not None:
+            journal.mark_complete()
+    except KeyboardInterrupt:
+        if journal is not None:
+            journal.mark_interrupted()
+        raise
+    finally:
+        if journal is not None:
+            journal.close()
     return rows, stats
 
 
@@ -186,12 +433,28 @@ class SweepRunner:
         Optional existing :class:`SystemEvaluator` to evaluate through
         (in-process only; mutually exclusive with ``snn`` and
         ``n_workers > 1``).  Used by ``SystemEvaluator.figure8()``.
+    supervisor:
+        Crash-recovery policy for worker shards (retry budget,
+        watchdog); the default :class:`SupervisorPolicy` already
+        survives worker crashes.
+    chaos:
+        Optional :class:`ChaosPolicy` injecting deterministic worker
+        crashes into the shards — the harness the acceptance suite
+        proves the supervisor with.
+    journal:
+        ``True`` (default) journals progress next to the cache
+        (``<cache root>/journal/``) so interrupted runs resume with
+        zero recomputation; ``False`` disables journaling.  Ignored
+        without a cache.
     """
 
     def __init__(self, spec: SweepSpec, *, n_workers: int = 1,
                  cache: ResultCache | bool | None = True,
                  snn: ConvertedSNN | None = None,
-                 evaluator: SystemEvaluator | None = None) -> None:
+                 evaluator: SystemEvaluator | None = None,
+                 supervisor: SupervisorPolicy | None = None,
+                 chaos: ChaosPolicy | None = None,
+                 journal: bool = True) -> None:
         if n_workers < 1:
             raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
         if evaluator is not None and snn is not None:
@@ -226,8 +489,34 @@ class SweepRunner:
             self.cache = cache
         self._snn = snn
         self._evaluator = evaluator
+        self.supervisor = supervisor
+        self.chaos = chaos
+        self._journal_enabled = bool(journal)
 
     # -- internals -------------------------------------------------------------------
+
+    @property
+    def journal_dir(self) -> pathlib.Path | None:
+        """Where this runner journals progress (``None`` disables it)."""
+        if not self._journal_enabled or self.cache is None:
+            return None
+        return self.cache.root / "journal"
+
+    def journal(self) -> CampaignJournal | None:
+        """The journal the next :meth:`run` will write (for ``--resume``).
+
+        Derives the same run id :func:`run_cached_points` will — from
+        the full set of cache entry keys — without evaluating anything,
+        so CLIs can report prior progress before re-running.
+        """
+        if self.journal_dir is None:
+            return None
+        points = self.spec.expand()
+        fingerprints = self._fingerprints(points)
+        keys = [point_key(p, fingerprints[p]) for p in points]
+        return CampaignJournal(
+            self.journal_dir / f"sweep-{run_id_for(keys)}.jsonl"
+        )
 
     def _fingerprints(self, points: list[DesignPoint]) -> dict[DesignPoint, str]:
         """Weights fingerprint per point (shared per quality/seed model)."""
@@ -247,34 +536,54 @@ class SweepRunner:
             out[point] = per_model[model_key]
         return out
 
-    def _evaluate_misses(self, points: list[DesignPoint]) -> list[SweepRow]:
-        """Evaluate cache misses, sharded or in-process, in input order."""
+    def _evaluate_misses(self, points: list[DesignPoint],
+                         on_done=None) -> list[SweepRow]:
+        """Evaluate cache misses, sharded or in-process, in input order.
+
+        ``on_done(position, row)`` fires as each point completes (in
+        completion order) so the caller can cache and journal rows
+        incrementally — the crash-safety half of the resumable-campaign
+        contract.
+        """
         if not points:
             return []
         if self._evaluator is not None:
-            metrics = [
-                self._evaluator.evaluate_cell(
+            rows = []
+            for position, point in enumerate(points):
+                metrics = self._evaluator.evaluate_cell(
                     engine=point.engine, hardware=point.hardware,
                 ).metrics
-                for point in points
-            ]
-        elif self.n_workers == 1 or len(points) == 1:
-            metrics = [evaluate_point(point, self._snn) for point in points]
-        else:
-            # Pre-warm the trained-model caches in the parent: on
-            # fork-based platforms the workers inherit the in-memory
-            # model; elsewhere they hit the .npz disk cache instead of
-            # re-training.
-            if self._snn is None:
-                for model_key in {(p.quality, p.seed) for p in points}:
-                    get_reference_model(*model_key)
-            metrics = shard_map(
-                _evaluate_task, [(p, self._snn) for p in points],
-                self.n_workers,
+                row = SweepRow(point=point, metrics=metrics, cached=False)
+                rows.append(row)
+                if on_done is not None:
+                    on_done(position, row)
+            return rows
+        # Pre-warm the trained-model caches in the parent: on
+        # fork-based platforms the workers inherit the in-memory
+        # model; elsewhere they hit the .npz disk cache instead of
+        # re-training.
+        if self._snn is None and self.n_workers > 1 and len(points) > 1:
+            for model_key in {(p.quality, p.seed) for p in points}:
+                get_reference_model(*model_key)
+        row_cache: dict[int, SweepRow] = {}
+
+        def metrics_done(position: int, metrics: SystemMetrics) -> None:
+            row = SweepRow(
+                point=points[position], metrics=metrics, cached=False,
             )
+            row_cache[position] = row
+            if on_done is not None:
+                on_done(position, row)
+
+        metrics = shard_map(
+            _evaluate_task, [(p, self._snn) for p in points],
+            self.n_workers, supervisor=self.supervisor, chaos=self.chaos,
+            on_done=metrics_done,
+        )
         return [
-            SweepRow(point=point, metrics=m, cached=False)
-            for point, m in zip(points, metrics)
+            row_cache.get(position)
+            or SweepRow(point=point, metrics=m, cached=False)
+            for position, (point, m) in enumerate(zip(points, metrics))
         ]
 
     # -- API -------------------------------------------------------------------------
@@ -294,5 +603,7 @@ class SweepRunner:
             load_row=lambda data: SweepRow.from_dict(data, cached=True),
             dump_row=lambda row: row.to_dict(),
             evaluate=self._evaluate_misses,
+            journal_dir=self.journal_dir,
+            kind="sweep",
         )
         return SweepResult(spec_name=self.spec.name, rows=rows, stats=stats)

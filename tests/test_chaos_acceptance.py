@@ -1,0 +1,321 @@
+"""Chaos acceptance: the fault-tolerance claims, proven end-to-end.
+
+Three claims from the resilience layer's contract, each driven through
+the real stack with a seeded :class:`ChaosPolicy`:
+
+* **bit-identical recovery** — a campaign whose workers crash (both
+  the in-process ``WorkerCrashError`` path and real ``os._exit`` in a
+  process pool) produces exactly the rows and curves of a fault-free
+  run;
+* **zero recomputation on resume** — a campaign killed mid-run resumes
+  from its journal + cache and evaluates only the unfinished points;
+* **no silent drops** — the campaign CLIs convert Ctrl-C into partial
+  results, a resume hint and exit 130, and a chaos-stressed serving
+  run accounts for every admitted request.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.reliability.runner as reliability_runner
+from repro.errors import QueueFullError, ReproError, WorkerCrashError
+from repro.reliability import FaultCampaignSpec, ReliabilityRunner
+from repro.resilience import ChaosPolicy, RetryPolicy, SupervisorPolicy
+from repro.serve import BatchPolicy, InferenceServer, ModelRegistry
+from repro.sram.bitcell import CellType
+from repro.sweep import ResultCache, SweepRunner
+from repro.sweep.spec import SweepSpec
+
+from tests.test_serve import random_network, random_spikes
+
+QUALITY = "fast"
+
+
+def small_campaign(trials=2, bers=(0.0, 1e-3, 5e-2)) -> FaultCampaignSpec:
+    return FaultCampaignSpec(
+        name="chaos-acceptance", bit_error_rates=bers, trials=trials,
+        sample_images=8, quality=QUALITY,
+    )
+
+
+def small_sweep() -> SweepSpec:
+    return SweepSpec(
+        name="chaos-sweep", cell_types=(CellType.C1RW4R,),
+        vprechs=(0.5, 0.6), sample_images=(8,), quality=QUALITY,
+    )
+
+
+def campaign_payload(result) -> list[dict]:
+    """Cache-independent view of a campaign result for equality checks."""
+    return [
+        {**row.point.to_dict(), "accuracies": list(row.accuracies),
+         "flipped_bits": list(row.flipped_bits)}
+        for row in result.rows
+    ]
+
+
+# -- bit-identical recovery -----------------------------------------------------------
+
+
+class TestBitIdenticalRecovery:
+    def test_serial_campaign_survives_injected_crashes(self, tmp_path):
+        spec = small_campaign()
+        clean = ReliabilityRunner(
+            spec, cache=ResultCache(tmp_path / "clean")
+        ).run()
+        chaos = ChaosPolicy(seed=11, worker_crash_p=0.7)
+        # The schedule must actually injure this run for the test to
+        # mean anything.
+        injected = sum(chaos.crashes_for(i) for i in range(len(spec)))
+        assert injected > 0
+        recovered = ReliabilityRunner(
+            spec, cache=ResultCache(tmp_path / "chaos"),
+            chaos=chaos, supervisor=SupervisorPolicy(retry_budget=2),
+        ).run()
+        assert campaign_payload(recovered) == campaign_payload(clean)
+        assert [c.to_dict() for c in recovered.curves] == \
+            [c.to_dict() for c in clean.curves]
+        assert recovered.stats.evaluated == len(spec)
+
+    def test_pooled_campaign_survives_real_worker_crashes(self, tmp_path):
+        # os._exit(86) in spawned workers -> BrokenProcessPool -> pool
+        # rebuild + re-queue; results still bit-identical.
+        spec = small_campaign(trials=1, bers=(0.0, 1e-3))
+        clean = ReliabilityRunner(
+            spec, cache=ResultCache(tmp_path / "clean")
+        ).run()
+        chaos = ChaosPolicy(seed=5, worker_crash_p=0.9)
+        assert sum(chaos.crashes_for(i) for i in range(len(spec))) > 0
+        recovered = ReliabilityRunner(
+            spec, n_workers=2, cache=ResultCache(tmp_path / "chaos"),
+            chaos=chaos, supervisor=SupervisorPolicy(retry_budget=2),
+        ).run()
+        assert campaign_payload(recovered) == campaign_payload(clean)
+
+    def test_sweep_engine_shares_the_supervisor(self, tmp_path):
+        spec = small_sweep()
+        clean = SweepRunner(
+            spec, cache=ResultCache(tmp_path / "clean")
+        ).run()
+        chaos = ChaosPolicy(seed=2, worker_crash_p=0.8)
+        assert sum(chaos.crashes_for(i) for i in range(len(spec))) > 0
+        recovered = SweepRunner(
+            spec, cache=ResultCache(tmp_path / "chaos"),
+            chaos=chaos, supervisor=SupervisorPolicy(retry_budget=2),
+        ).run()
+        assert [row.to_dict() for row in recovered.rows] == \
+            [row.to_dict() for row in clean.rows]
+
+    def test_exhausted_retry_budget_is_an_explicit_failure(self, tmp_path):
+        chaos = ChaosPolicy(seed=0, worker_crash_p=1.0,
+                            max_crashes_per_site=3)
+        runner = ReliabilityRunner(
+            small_campaign(trials=1, bers=(0.0,)),
+            cache=ResultCache(tmp_path / "cache"),
+            chaos=chaos, supervisor=SupervisorPolicy(retry_budget=1),
+        )
+        with pytest.raises(WorkerCrashError, match="retry budget"):
+            runner.run()
+
+
+# -- resumable campaigns --------------------------------------------------------------
+
+
+class TestResume:
+    def test_interrupted_campaign_resumes_with_zero_recompute(
+            self, tmp_path, monkeypatch):
+        spec = small_campaign()
+        total = len(spec)
+        reference = ReliabilityRunner(
+            spec, cache=ResultCache(tmp_path / "reference")
+        ).run()
+
+        cache = ResultCache(tmp_path / "interrupted")
+        real_task = reliability_runner._evaluate_task
+        evaluated: list = []
+        interrupt_after = 2
+
+        def interruptible(point):
+            if len(evaluated) == interrupt_after:
+                raise KeyboardInterrupt
+            result = real_task(point)
+            evaluated.append(point)
+            return result
+
+        monkeypatch.setattr(
+            reliability_runner, "_evaluate_task", interruptible
+        )
+        first = ReliabilityRunner(spec, cache=cache)
+        with pytest.raises(KeyboardInterrupt):
+            first.run()
+        state = first.journal().load()
+        assert state.interrupted and not state.complete
+        assert state.finished == interrupt_after
+        assert len(state.remaining) == total - interrupt_after
+
+        # Resume: only the unfinished points are evaluated; the two
+        # finished ones are cache hits (zero recomputation).
+        evaluated.clear()
+        monkeypatch.setattr(reliability_runner, "_evaluate_task", real_task)
+        second = ReliabilityRunner(spec, cache=cache)
+        result = second.run()
+        assert result.stats.cache_hits == interrupt_after
+        assert result.stats.evaluated == total - interrupt_after
+        final = second.journal().load()
+        assert final.complete and not final.interrupted
+        assert final.finished == final.total == total
+        # And the stitched-together result is bit-identical to an
+        # uninterrupted run.
+        assert campaign_payload(result) == campaign_payload(reference)
+
+    def test_warm_rerun_journals_as_complete(self, tmp_path):
+        spec = small_campaign(trials=1, bers=(0.0, 1e-3))
+        cache = ResultCache(tmp_path / "cache")
+        ReliabilityRunner(spec, cache=cache).run()
+        rerun = ReliabilityRunner(spec, cache=cache)
+        result = rerun.run()
+        assert result.stats.evaluated == 0
+        state = rerun.journal().load()
+        assert state.complete
+        assert state.finished == state.total == len(spec)
+
+    def test_journal_disabled_without_cache(self):
+        runner = ReliabilityRunner(small_campaign(), cache=None)
+        assert runner.journal_dir is None
+        assert runner.journal() is None
+
+
+# -- CLI interrupt contract -----------------------------------------------------------
+
+
+class TestCliInterrupt:
+    def test_reliability_cli_exits_130_with_resume_hint(
+            self, tmp_path, monkeypatch, capsys):
+        from repro.reliability.__main__ import main as reliability_main
+
+        monkeypatch.setattr(
+            ReliabilityRunner, "run",
+            lambda self: (_ for _ in ()).throw(KeyboardInterrupt()),
+        )
+        argv = ["cells", "--quality", QUALITY, "--trials", "1",
+                "--sample-images", "2", "--cache-dir", str(tmp_path)]
+        assert reliability_main(argv) == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "python -m repro.reliability" in err and "--resume" in err
+
+    def test_sweep_cli_exits_130_with_resume_hint(
+            self, tmp_path, monkeypatch, capsys):
+        from repro.sweep.__main__ import main as sweep_main
+
+        monkeypatch.setattr(
+            SweepRunner, "run",
+            lambda self: (_ for _ in ()).throw(KeyboardInterrupt()),
+        )
+        argv = ["vprech", "--quality", QUALITY, "--sample-images", "2",
+                "--cache-dir", str(tmp_path)]
+        assert sweep_main(argv) == 130
+        err = capsys.readouterr().err
+        assert "python -m repro.sweep" in err and "--resume" in err
+
+    def test_resume_flag_requires_cache(self, capsys):
+        from repro.sweep.__main__ import main as sweep_main
+
+        with pytest.raises(SystemExit):
+            sweep_main(["vprech", "--resume", "--no-cache"])
+
+    def test_resume_flag_reports_journal_state(self, tmp_path, capsys):
+        from repro.reliability.__main__ import main as reliability_main
+
+        argv = ["cells", "--quality", QUALITY, "--trials", "1",
+                "--sample-images", "2", "--cache-dir", str(tmp_path)]
+        assert reliability_main(argv) == 0
+        capsys.readouterr()
+        assert reliability_main([*argv, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "--resume: previous run completed" in out
+
+
+# -- serving under chaos --------------------------------------------------------------
+
+
+class TestServingChaosAccounting:
+    def test_every_admitted_request_is_accounted(self):
+        # Deadlines tight enough to shed under injected latency spikes,
+        # a retry budget the persistent-failure sites defeat, and a
+        # bounded queue under concurrent load: whatever combination of
+        # fates the chaos schedule deals, nothing vanishes.
+        chaos = ChaosPolicy(seed=13, flush_error_p=0.3,
+                            latency_spike_ms=8.0, latency_spike_p=0.3)
+        registry = ModelRegistry()
+        network = random_network(seed=1)
+        registry.register_network("m", network)
+        server = InferenceServer(
+            registry,
+            policy=BatchPolicy(max_batch_size=8, max_wait_ms=1.0),
+            max_queue_depth=32,
+            retry=RetryPolicy(retries=1, base_delay_ms=0.0),
+            chaos=chaos,
+        )
+        spikes = random_spikes(64)
+        outcomes = {"completed": 0, "explicit_failure": 0}
+        with server:
+            futures = []
+            for row in spikes:
+                while True:
+                    try:
+                        futures.append(
+                            server.submit("m", row, deadline_ms=200.0)
+                        )
+                        break
+                    except QueueFullError:
+                        pass
+            for future in futures:
+                try:
+                    future.result(timeout=30.0)
+                    outcomes["completed"] += 1
+                except ReproError:
+                    outcomes["explicit_failure"] += 1
+        # 100% of admitted requests resolved or failed explicitly...
+        assert outcomes["completed"] + outcomes["explicit_failure"] == \
+            len(spikes)
+        # ...and the metrics JSON agrees, with the resilience counters
+        # present.
+        data = server.metrics.to_dict()
+        assert data["submitted"] == len(spikes)
+        assert data["submitted"] == \
+            data["completed"] + data["failed"] + data["shed"]
+        assert data["completed"] == outcomes["completed"]
+        for counter in ("shed", "retried", "broken_circuit"):
+            assert counter in data
+        # The chaos schedule must have actually interfered.
+        assert data["retried"] > 0 or data["failed"] > 0
+
+    def test_chaos_never_corrupts_served_predictions(self):
+        # Whatever the failure pattern, every *successful* response is
+        # bit-identical to the offline classification.
+        chaos = ChaosPolicy(seed=29, flush_error_p=0.4)
+        registry = ModelRegistry()
+        network = random_network(seed=2)
+        registry.register_network("m", network)
+        server = InferenceServer(
+            registry,
+            policy=BatchPolicy(max_batch_size=8, max_wait_ms=0.5),
+            retry=RetryPolicy(retries=1, base_delay_ms=0.0),
+            chaos=chaos,
+        )
+        spikes = random_spikes(48, seed=9)
+        offline = network.classify_batch(spikes)
+        served = np.full(len(spikes), -1, dtype=np.int64)
+        with server:
+            futures = [server.submit("m", row) for row in spikes]
+            for i, future in enumerate(futures):
+                try:
+                    served[i] = future.result(timeout=30.0)
+                except ReproError:
+                    pass
+        answered = served >= 0
+        assert answered.any()
+        assert np.array_equal(served[answered], offline[answered])

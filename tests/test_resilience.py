@@ -1,0 +1,349 @@
+"""Resilience primitives: retry policy, circuit breaker, chaos, journal.
+
+The execution-layer failure handling rests on two determinism claims:
+a :class:`RetryPolicy`'s backoff schedule is a pure function of its
+seed (hypothesis pins this across the parameter space), and a
+:class:`ChaosPolicy`'s fault schedule is a pure hash of
+``(seed, site, attempt)`` with per-site crash counts capped — which is
+what makes supervised retry provably convergent.  The circuit breaker
+and journal tests drive the full state machines with injected clocks
+and tmp files.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, InjectedFaultError, WorkerCrashError
+from repro.resilience import (
+    TRANSIENT_ERRORS,
+    BreakerPolicy,
+    CampaignJournal,
+    ChaosPolicy,
+    CircuitBreaker,
+    JournalState,
+    RetryPolicy,
+    SupervisorPolicy,
+    run_id_for,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, seconds: float) -> None:
+        self.t += seconds
+
+
+# -- retry policy --------------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay_ms=50.0, max_delay_ms=10.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(retry_on=())
+
+    def test_schedule_shape(self):
+        policy = RetryPolicy(retries=5, base_delay_ms=1.0, multiplier=2.0,
+                             max_delay_ms=4.0, jitter=0.0)
+        assert policy.delays_ms() == (1.0, 2.0, 4.0, 4.0, 4.0)
+
+    def test_jitter_shrinks_delays_only(self):
+        policy = RetryPolicy(retries=8, base_delay_ms=2.0, jitter=0.5,
+                             max_delay_ms=100.0)
+        nominal = RetryPolicy(retries=8, base_delay_ms=2.0, jitter=0.0,
+                              max_delay_ms=100.0).delays_ms()
+        for delay, cap in zip(policy.delays_ms(), nominal):
+            assert 0.5 * cap <= delay <= cap
+
+    def test_call_succeeds_after_transient_failures(self):
+        attempts = []
+
+        def flaky(attempt):
+            attempts.append(attempt)
+            if attempt < 2:
+                raise InjectedFaultError("transient")
+            return "ok"
+
+        sleeps = []
+        policy = RetryPolicy(retries=3, base_delay_ms=1.0)
+        assert policy.call(flaky, sleep=sleeps.append) == "ok"
+        assert attempts == [0, 1, 2]
+        assert len(sleeps) == 2
+
+    def test_call_exhausts_budget(self):
+        policy = RetryPolicy(retries=2, base_delay_ms=0.0)
+        calls = []
+
+        def doomed(attempt):
+            calls.append(attempt)
+            raise InjectedFaultError("always")
+
+        with pytest.raises(InjectedFaultError):
+            policy.call(doomed, sleep=lambda s: None)
+        assert calls == [0, 1, 2]  # first try + 2 retries
+
+    def test_call_does_not_retry_permanent_errors(self):
+        policy = RetryPolicy(retries=3)
+        calls = []
+
+        def broken(attempt):
+            calls.append(attempt)
+            raise ValueError("permanent")
+
+        with pytest.raises(ValueError):
+            policy.call(broken, sleep=lambda s: None)
+        assert calls == [0]
+
+    def test_on_retry_reports_each_backoff(self):
+        policy = RetryPolicy(retries=2, base_delay_ms=1.0)
+        seen = []
+
+        def doomed(attempt):
+            raise InjectedFaultError("always")
+
+        with pytest.raises(InjectedFaultError):
+            policy.call(
+                doomed, sleep=lambda s: None,
+                on_retry=lambda a, e, d: seen.append((a, type(e), d)),
+            )
+        assert [a for a, _, _ in seen] == [0, 1]
+        assert all(t is InjectedFaultError for _, t, _ in seen)
+        assert tuple(d for _, _, d in seen) == policy.delays_ms()
+
+    def test_transient_family_is_curated(self):
+        assert InjectedFaultError in TRANSIENT_ERRORS
+        assert TimeoutError in TRANSIENT_ERRORS
+        assert ValueError not in TRANSIENT_ERRORS
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31),
+        retries=st.integers(0, 8),
+        base=st.floats(0.0, 10.0, allow_nan=False),
+        jitter=st.floats(0.0, 1.0, allow_nan=False),
+    )
+    def test_schedule_is_deterministic_per_seed(self, seed, retries, base,
+                                                jitter):
+        make = lambda: RetryPolicy(  # noqa: E731
+            retries=retries, base_delay_ms=base, max_delay_ms=base + 100.0,
+            jitter=jitter, seed=seed,
+        )
+        first, second = make().delays_ms(), make().delays_ms()
+        assert first == second
+        assert len(first) == retries
+        assert all(d >= 0 for d in first)
+
+
+# -- circuit breaker -----------------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def breaker(self, threshold=3, cooldown=10.0):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=threshold, cooldown_s=cooldown),
+            clock=clock,
+        )
+        return breaker, clock
+
+    def test_rejects_bad_policy(self):
+        with pytest.raises(ConfigurationError):
+            BreakerPolicy(failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            BreakerPolicy(cooldown_s=-1.0)
+
+    def test_opens_after_consecutive_failures_only(self):
+        breaker, _ = self.breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()  # resets the streak
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker, clock = self.breaker(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()       # the probe
+        assert not breaker.allow()   # concurrent callers keep failing fast
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_with_fresh_cooldown(self):
+        breaker, clock = self.breaker(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.1)
+        assert breaker.allow()
+
+
+# -- chaos policy --------------------------------------------------------------------
+
+
+class TestChaosPolicy:
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            ChaosPolicy(worker_crash_p=1.5)
+        with pytest.raises(ConfigurationError):
+            ChaosPolicy(latency_spike_ms=-1.0)
+        with pytest.raises(ConfigurationError):
+            ChaosPolicy(max_crashes_per_site=-1)
+
+    def test_inactive_by_default(self):
+        assert not ChaosPolicy().active
+        assert ChaosPolicy(worker_crash_p=0.1).active
+        assert ChaosPolicy(flush_error_p=0.1).active
+        # A spike size without a probability (or vice versa) injects
+        # nothing.
+        assert not ChaosPolicy(latency_spike_ms=5.0).active
+        assert not ChaosPolicy(latency_spike_p=0.5).active
+
+    def test_schedule_is_deterministic(self):
+        a = ChaosPolicy(seed=7, worker_crash_p=0.5, flush_error_p=0.5)
+        b = ChaosPolicy(seed=7, worker_crash_p=0.5, flush_error_p=0.5)
+        sites = [f"site{i}" for i in range(32)]
+        assert [a.crashes_for(s) for s in sites] == \
+            [b.crashes_for(s) for s in sites]
+        assert [a.flush_should_fail(s, 0) for s in sites] == \
+            [b.flush_should_fail(s, 0) for s in sites]
+        c = ChaosPolicy(seed=8, worker_crash_p=0.5, flush_error_p=0.5)
+        assert [a.crashes_for(s) for s in sites] != \
+            [c.crashes_for(s) for s in sites]
+
+    def test_crashes_are_capped_so_retry_converges(self):
+        chaos = ChaosPolicy(seed=0, worker_crash_p=1.0, max_crashes_per_site=2)
+        for site in range(16):
+            assert chaos.crashes_for(site) == 2
+            assert chaos.should_crash_worker(site, 0)
+            assert chaos.should_crash_worker(site, 1)
+            assert not chaos.should_crash_worker(site, 2)
+
+    def test_maybe_crash_worker_raises_in_process(self):
+        chaos = ChaosPolicy(seed=0, worker_crash_p=1.0)
+        with pytest.raises(WorkerCrashError):
+            chaos.maybe_crash_worker("site", 0)
+        # Attempt beyond the cap: no crash.
+        chaos.maybe_crash_worker("site", chaos.max_crashes_per_site)
+
+    def test_on_flush_spikes_then_fails(self):
+        chaos = ChaosPolicy(seed=1, flush_error_p=1.0,
+                            latency_spike_ms=5.0, latency_spike_p=1.0)
+        slept = []
+        with pytest.raises(InjectedFaultError):
+            chaos.on_flush("m/0", 0, sleep=slept.append)
+        assert slept == [5.0 / 1e3]
+        clean = ChaosPolicy(seed=1)
+        clean.on_flush("m/0", 0, sleep=slept.append)  # no-op
+        assert len(slept) == 1
+
+
+# -- campaign journal ----------------------------------------------------------------
+
+
+class TestCampaignJournal:
+    def test_round_trip(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "run.jsonl")
+        assert not journal.exists()
+        journal.begin(run_id="abc", kind="sweep", total=5, cache_hits=2,
+                      pending=["k1", "k2", "k3"])
+        journal.mark_done("k1")
+        state = journal.load()
+        assert state.meta["run_id"] == "abc"
+        assert state.total == 5
+        assert state.finished == 3  # 2 hits + k1
+        assert state.remaining == ["k2", "k3"]
+        assert not state.complete and not state.interrupted
+
+    def test_interrupt_then_resume_header_resets_tallies(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "run.jsonl")
+        journal.begin(run_id="abc", kind="sweep", total=4, cache_hits=0,
+                      pending=["k1", "k2", "k3", "k4"])
+        journal.mark_done("k1")
+        journal.mark_done("k2")
+        journal.mark_interrupted()
+        assert journal.load().interrupted
+        # The resumed attempt counts k1/k2 as cache hits; its header
+        # must reset the per-attempt done list or they'd double-count.
+        journal.begin(run_id="abc", kind="sweep", total=4, cache_hits=2,
+                      pending=["k3", "k4"])
+        journal.mark_done("k3")
+        journal.mark_done("k4")
+        journal.mark_complete()
+        state = journal.load()
+        assert state.complete and not state.interrupted
+        assert state.finished == state.total == 4
+        assert state.remaining == []
+
+    def test_load_survives_torn_lines(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = CampaignJournal(path)
+        journal.begin(run_id="abc", kind="sweep", total=2, cache_hits=0,
+                      pending=["k1", "k2"])
+        journal.mark_done("k1")
+        journal.close()
+        with path.open("a") as handle:
+            handle.write('{"event": "done", "key": "k2"')  # torn write
+        state = journal.load()
+        assert state.finished == 1
+        assert state.remaining == ["k2"]
+
+    def test_missing_journal_loads_empty(self, tmp_path):
+        state = CampaignJournal(tmp_path / "absent.jsonl").load()
+        assert isinstance(state, JournalState)
+        assert state.total == 0 and state.remaining == []
+
+    def test_reset_truncates(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "run.jsonl")
+        journal.begin(run_id="abc", kind="sweep", total=1, cache_hits=0,
+                      pending=["k1"])
+        journal.reset()
+        assert not journal.exists()
+
+    def test_run_id_is_order_independent(self):
+        assert run_id_for(["a", "b", "c"]) == run_id_for(["c", "a", "b"])
+        assert run_id_for(["a", "b"]) != run_id_for(["a", "b", "c"])
+        assert len(run_id_for(["a"])) == 12
+
+
+# -- supervisor policy ----------------------------------------------------------------
+
+
+class TestSupervisorPolicy:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SupervisorPolicy(retry_budget=-1)
+        with pytest.raises(ConfigurationError):
+            SupervisorPolicy(watchdog_s=0.0)
+
+    def test_defaults_cover_the_chaos_cap(self):
+        # The default budget must cover the default chaos crash cap,
+        # so a supervised chaos run always converges.
+        assert SupervisorPolicy().retry_budget >= \
+            ChaosPolicy().max_crashes_per_site
