@@ -108,12 +108,11 @@ class EsamSystem:
                         engine: str = "fast") -> ClassificationResult:
         """Hardware-accurate classification of encoded spike vectors.
 
-        ``engine="fast"`` (default) computes the drain schedule in
-        closed form over the whole batch; ``engine="cycle"`` steps the
-        simulator clock-by-clock.  Predictions, traces and the hardware
-        report are identical either way (the fast engine is proven
-        trace-equivalent by the test suite) — keep ``"cycle"`` for
-        auditing against the bit-true reference.
+        ``engine`` selects any registered backend
+        (:data:`repro.tile.ENGINES`; ``"fast"`` default).  Predictions,
+        traces and the hardware report are identical for every backend
+        (proven trace-equivalent by the conformance suite) — keep
+        ``"cycle"`` for auditing against the bit-true reference.
         """
         spikes = np.atleast_2d(np.asarray(spikes))
         self.network.reset_stats()

@@ -30,6 +30,7 @@ import sys
 
 from repro.errors import ReproError
 from repro.hw.cli import (
+    add_engine_argument,
     add_hardware_arguments,
     hardware_from_args,
     narrowed_axes,
@@ -112,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the degradation claims derived from the curves",
     )
     add_hardware_arguments(parser)
+    add_engine_argument(parser, help_suffix="applies to every trial")
     return parser
 
 
@@ -142,6 +144,7 @@ def main(argv: list[str] | None = None) -> int:
             ("quality", args.quality),
             ("seed", hardware.seed),
             ("vprech", hardware.vprech),
+            ("engine", args.engine),
         )
         if key in accepted
     }

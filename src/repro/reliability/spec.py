@@ -247,7 +247,7 @@ class FaultCampaignSpec:
 
 def reliability_spec(trials: int = 4, sample_images: int = 64,
                      quality: str = "full", seed: int = 42,
-                     vprech: float = PAPER_VPRECH,
+                     vprech: float = PAPER_VPRECH, engine: str = "fast",
                      bers: Sequence[float] = DEFAULT_BER_GRID,
                      nodes: Sequence[str] = (DEFAULT_NODE,),
                      corners: Sequence[str] = RELIABILITY_CORNERS,
@@ -257,14 +257,14 @@ def reliability_spec(trials: int = 4, sample_images: int = 64,
     return FaultCampaignSpec(
         name="reliability", bit_error_rates=tuple(bers), trials=trials,
         cell_types=tuple(cells), nodes=tuple(nodes), corners=tuple(corners),
-        vprech=vprech, sample_images=sample_images, quality=quality,
-        seed=seed,
+        vprech=vprech, sample_images=sample_images, engine=engine,
+        quality=quality, seed=seed,
     )
 
 
 def cells_spec(trials: int = 4, sample_images: int = 64,
                quality: str = "full", seed: int = 42,
-               vprech: float = PAPER_VPRECH,
+               vprech: float = PAPER_VPRECH, engine: str = "fast",
                bers: Sequence[float] = DEFAULT_BER_GRID,
                nodes: Sequence[str] = (DEFAULT_NODE,),
                corners: Sequence[str] = (DEFAULT_CORNER,),
@@ -274,7 +274,7 @@ def cells_spec(trials: int = 4, sample_images: int = 64,
         name="cells", bit_error_rates=tuple(bers), trials=trials,
         cell_types=(CellType.C6T, SELECTED_CELL), nodes=tuple(nodes),
         corners=tuple(corners), vprech=vprech, sample_images=sample_images,
-        quality=quality, seed=seed,
+        engine=engine, quality=quality, seed=seed,
     )
 
 

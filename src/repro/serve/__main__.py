@@ -29,7 +29,11 @@ import numpy as np
 
 from repro.envinfo import environment_info
 from repro.errors import ModelUnavailableError, QueueFullError, ReproError
-from repro.hw.cli import add_hardware_arguments, hardware_from_args
+from repro.hw.cli import (
+    add_engine_argument,
+    add_hardware_arguments,
+    hardware_from_args,
+)
 from repro.learning.pretrained import QUALITY_PRESETS, get_reference_model
 from repro.resilience.chaos import ChaosPolicy
 from repro.resilience.policy import BreakerPolicy, RetryPolicy
@@ -38,7 +42,6 @@ from repro.serve.registry import ModelRegistry
 from repro.serve.server import InferenceServer
 from repro.snn.encode import encode_images
 from repro.sweep.spec import DesignPoint
-from repro.tile.network import ENGINES
 
 #: Model name the load generator registers and targets.
 MODEL_NAME = "esam"
@@ -75,10 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="model + arrival-trace seed (default: the --config file's "
              "seed, else 42)",
     )
-    parser.add_argument(
-        "--engine", choices=ENGINES, default="fast",
-        help="simulation engine for every batch (default: fast)",
-    )
+    add_engine_argument(parser, help_suffix="applies to every batch")
     parser.add_argument(
         "--max-batch", type=int, default=64, metavar="N",
         help="micro-batch size cap (default: 64)",

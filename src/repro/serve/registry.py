@@ -11,8 +11,9 @@ Hot swap comes in two flavours:
 
 * **in-place weight updates** (online learning, fault injection)
   need no registry call at all: mutating a tile bumps
-  ``Tile.weight_version`` and the network's cached fast engine rebuilds
-  on the next batch, so requests after the update are served by the new
+  ``Tile.weight_version`` and the network's cached engine backends
+  (signed matrices, packed bitplanes, memoized schedules) rebuild on
+  the next batch, so requests after the update are served by the new
   weights;
 * **whole-network replacement** via :meth:`ModelRegistry.swap`, which
   atomically rebinds a name to a new network with the same interface

@@ -86,8 +86,10 @@ class InferenceServer:
     max_queue_depth:
         In-flight request bound; the explicit backpressure knob.
     engine:
-        Simulation engine used for every flush (``"fast"`` default;
-        ``"cycle"`` serves bit-identical predictions slowly).
+        Simulation engine used for every flush: any registered backend
+        (:data:`repro.tile.ENGINES`; ``"fast"`` default).  Every
+        backend serves bit-identical predictions — only the flush
+        latency differs.
     metrics:
         Optional externally-owned :class:`ServingMetrics` collector.
     retry:

@@ -32,6 +32,7 @@ import sys
 
 from repro.errors import ReproError
 from repro.hw.cli import (
+    add_engine_argument,
     add_hardware_arguments,
     hardware_from_args,
     narrowed_axes,
@@ -99,6 +100,10 @@ def build_parser() -> argparse.ArgumentParser:
     # The cell option is a swept axis for every named sweep, so only
     # the scalar hardware flags are exposed here.
     add_hardware_arguments(parser, cell=False)
+    add_engine_argument(
+        parser, default=None,
+        help_suffix="narrows the engines sweep's axis when given",
+    )
     return parser
 
 
@@ -129,12 +134,15 @@ def main(argv: list[str] | None = None) -> int:
         "sample_images": args.sample_images, "quality": args.quality,
         "seed": hardware.seed, "vprech": hardware.vprech,
         "node": hardware.node, "corner": hardware.corner,
+        "engine": args.engine or "fast",
     }
     accepted = inspect.signature(factory).parameters
     kwargs = {k: v for k, v in available.items() if k in accepted}
     # A pinned scalar whose axis the factory sweeps narrows that axis
     # (shared contract with the reliability CLI — see narrowed_axes).
     kwargs.update(narrowed_axes(args, hardware, accepted))
+    if "engines" in accepted and args.engine is not None:
+        kwargs["engines"] = (args.engine,)
     spec = factory(**kwargs)
     if args.no_cache:
         if args.resume:

@@ -30,6 +30,7 @@ from repro.learning.pretrained import QUALITY_PRESETS
 from repro.sram.bitcell import ALL_CELLS, CellType
 from repro.tech.constants import DEFAULT_NODE
 from repro.tech.corners import DEFAULT_CORNER, PROCESS_CORNERS
+from repro.tile.backends import backend_names
 from repro.tile.network import validate_engine
 
 #: The Vprech grid of the system-level ablation (Figure 7's axis,
@@ -256,44 +257,54 @@ def figure8_spec(sample_images: int = 64, quality: str = "full",
 def vprech_spec(sample_images: int = 64, quality: str = "full",
                 seed: int = 42,
                 vprechs: Sequence[float] = VPRECH_GRID,
+                engine: str = "fast",
                 node: str = DEFAULT_NODE,
                 corner: str = DEFAULT_CORNER) -> SweepSpec:
     """System-level Vprech ablation on the selected 1RW+4R cell."""
     return SweepSpec(
         name="vprech", cell_types=(CellType.C1RW4R,),
         vprechs=tuple(vprechs), sample_images=(sample_images,),
-        nodes=(node,), corners=(corner,),
+        engines=(engine,), nodes=(node,), corners=(corner,),
         quality=quality, seed=seed,
     )
 
 
 def ports_spec(sample_images: int = 64, quality: str = "full",
                seed: int = 42, vprech: float = 0.500,
+               engine: str = "fast",
                node: str = DEFAULT_NODE,
                corner: str = DEFAULT_CORNER) -> SweepSpec:
     """Port-count design space (the multiport cells, 1 to 4 ports)."""
     return SweepSpec.over_ports(
         (1, 2, 3, 4), vprechs=(vprech,), sample_images=(sample_images,),
-        nodes=(node,), corners=(corner,),
+        engines=(engine,), nodes=(node,), corners=(corner,),
         quality=quality, seed=seed,
     )
 
 
 def engines_spec(sample_images: int = 64, quality: str = "full",
                  seed: int = 42, vprech: float = 0.500,
+                 engines: Sequence[str] | None = None,
                  node: str = DEFAULT_NODE,
                  corner: str = DEFAULT_CORNER) -> SweepSpec:
-    """Fast-vs-cycle audit grid on the selected design point."""
+    """Cross-backend audit grid on the selected design point.
+
+    Defaults to *every* registered engine backend
+    (:func:`repro.tile.backends.backend_names`), so a newly registered
+    backend joins the audit sweep without a spec edit.
+    """
     return SweepSpec(
         name="engines", cell_types=(CellType.C1RW4R,),
         vprechs=(vprech,), sample_images=(sample_images,),
-        engines=("fast", "cycle"), nodes=(node,), corners=(corner,),
+        engines=backend_names() if engines is None else tuple(engines),
+        nodes=(node,), corners=(corner,),
         quality=quality, seed=seed,
     )
 
 
 def corners_spec(sample_images: int = 64, quality: str = "full",
                  seed: int = 42, vprech: float = 0.500,
+                 engine: str = "fast",
                  nodes: Sequence[str] = CORNER_SWEEP_NODES,
                  corners: Sequence[str] = CORNER_SWEEP_CORNERS) -> SweepSpec:
     """Node x corner grid: the Table-1 guardband axes, end to end.
@@ -306,7 +317,7 @@ def corners_spec(sample_images: int = 64, quality: str = "full",
         name="corners",
         cell_types=(CellType.C6T, CellType.C1RW4R),
         vprechs=(vprech,), sample_images=(sample_images,),
-        nodes=tuple(nodes), corners=tuple(corners),
+        engines=(engine,), nodes=tuple(nodes), corners=tuple(corners),
         quality=quality, seed=seed,
     )
 

@@ -162,9 +162,10 @@ class SystemEvaluator:
                       hardware: HardwareConfig | None = None) -> Figure8Row:
         """Hardware-accurate evaluation of one cell option.
 
-        Uses the schedule-based batched engine by default (identical
-        traces and energies to ``engine="cycle"``, orders of magnitude
-        faster for the sweep).  ``node``/``corner`` default to the
+        ``engine`` selects any registered backend (``"fast"`` default —
+        identical traces and energies to every other backend, orders of
+        magnitude faster than the per-cycle reference for the sweep).
+        ``node``/``corner`` default to the
         evaluator's configuration (the paper's 3nm node at the typical
         corner).  A full ``hardware`` descriptor overrides everything
         else — the sweep runner uses this so a point's clock override
@@ -187,14 +188,16 @@ class SystemEvaluator:
 
     # -- the full figure -----------------------------------------------------------
 
-    def figure8(self) -> list[Figure8Row]:
+    def figure8(self, engine: str = "fast") -> list[Figure8Row]:
         """All five cell options (Figure 8's x-axis).
 
         Routed through the sweep engine (:mod:`repro.sweep`) with this
         evaluator injected, so the same code path serves the library
         call, the benchmarks and the ``python -m repro.sweep`` CLI.
         Caching and multi-process sharding are opt-in there; this
-        in-memory entry point stays side-effect free.
+        in-memory entry point stays side-effect free.  ``engine``
+        selects any registered backend; every backend renders identical
+        rows (pinned by the golden-parity suite).
         """
         # Imported lazily: repro.sweep depends on this module.
         from repro.sweep import SweepRunner, figure8_spec
@@ -204,6 +207,7 @@ class SystemEvaluator:
             quality=self.quality,
             seed=self.config.seed,
             vprech=self.config.vprech,
+            engine=engine,
             node=self.config.node,
             corner=self.config.corner,
         )

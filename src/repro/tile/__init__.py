@@ -10,7 +10,16 @@ from repro.tile.mapping import LayerMapping
 from repro.tile.tile import Tile, TileInferenceStats
 from repro.tile.fast import DrainSchedule, drain_schedule, grant_cycle_of_rows
 from repro.tile.engine import FastEngine
-from repro.tile.network import ENGINES, EsamNetwork, InferenceTrace
+from repro.tile.backends import (
+    ENGINES,
+    backend_factory,
+    backend_names,
+    engines_doc,
+    register_backend,
+)
+from repro.tile.backends.bitpacked import BitpackedEngine
+from repro.tile.backends.cycle import CycleEngine
+from repro.tile.network import EsamNetwork, InferenceTrace, validate_engine
 from repro.tile.scheduler import PipelinedScheduler, PipelineRunReport
 
 __all__ = [
@@ -23,7 +32,14 @@ __all__ = [
     "drain_schedule",
     "grant_cycle_of_rows",
     "FastEngine",
+    "BitpackedEngine",
+    "CycleEngine",
     "ENGINES",
+    "backend_factory",
+    "backend_names",
+    "engines_doc",
+    "register_backend",
+    "validate_engine",
     "EsamNetwork",
     "InferenceTrace",
     "PipelinedScheduler",

@@ -41,7 +41,15 @@ from repro.tile.fast import (
 
 
 class _TileKernel:
-    """Precomputed batched view of one tile (weights, limits, shape)."""
+    """Precomputed batched view of one tile (weights, limits, shape).
+
+    Subclass hook for alternative backends
+    (:mod:`repro.tile.backends`): override :meth:`process` to compute
+    the drain schedule and the accumulated membranes with different
+    arithmetic — the engine replays whatever schedule the kernel
+    returns into the hardware ledgers, so the bookkeeping path is
+    shared by every backend.
+    """
 
     __slots__ = ("tile", "signed", "thresholds", "vmem_min", "vmem_max")
 
@@ -52,6 +60,14 @@ class _TileKernel:
         reference = tile.neurons[0]
         self.vmem_min = reference._vmem_min
         self.vmem_max = reference._vmem_max
+
+    def process(self, vmem: np.ndarray,
+                spikes: np.ndarray) -> tuple[DrainSchedule, np.ndarray]:
+        """One tile pass: the drain schedule and the drained membranes."""
+        schedule = drain_schedule(
+            spikes, self.tile.ports, self.tile.mapping.array_dim
+        )
+        return schedule, self.accumulate(vmem, spikes)
 
     def accumulate(self, vmem: np.ndarray, spikes: np.ndarray) -> np.ndarray:
         """Drain a spike batch into the membranes, exactly.
@@ -108,21 +124,32 @@ class _TileKernel:
 
 
 class FastEngine:
-    """Batched, trace-equivalent inference over an :class:`EsamNetwork`.
+    """Schedule-based batched engine: closed-form drains over BLAS matmuls.
 
     The constructor snapshots the weight matrices out of the SRAM
     macros; if weights are later mutated in place (online learning),
-    build a fresh engine (``EsamNetwork.fast_engine(refresh=True)``).
+    build a fresh engine (``EsamNetwork.engine_backend(...,
+    refresh=True)`` — the network does this automatically when a tile
+    reports a weight-version bump).
+
+    Subclasses swap the per-tile arithmetic by overriding
+    :attr:`kernel_cls` (see :class:`~repro.tile.backends.bitpacked.
+    BitpackedEngine`); the batch orchestration, stats replay and
+    temporal loop are shared.
     """
+
+    #: Per-tile kernel class; subclass hook for alternative backends.
+    kernel_cls: type = _TileKernel
 
     def __init__(self, network) -> None:
         self.network = network
-        self._kernels = [_TileKernel(tile) for tile in network.tiles]
+        self._kernels = [self.kernel_cls(tile) for tile in network.tiles]
 
     # -- bookkeeping ---------------------------------------------------------
 
-    def _drain(self, kernel: _TileKernel, spikes: np.ndarray) -> DrainSchedule:
-        """Drain a spike batch through one tile, replaying the stats.
+    def _replay(self, kernel: _TileKernel,
+                schedule: DrainSchedule) -> DrainSchedule:
+        """Replay a computed drain schedule into the hardware ledgers.
 
         Mirrors ``Tile.submit_spikes`` plus the ``step()``-until-
         ``R_empty`` loop: every arbiter clocks on every drain cycle
@@ -131,7 +158,6 @@ class FastEngine:
         neuron segment.
         """
         tile = kernel.tile
-        schedule = drain_schedule(spikes, tile.ports, tile.mapping.array_dim)
         grants = schedule.total_grants
         cycles = schedule.total_cycles
         tile.stats.input_spikes += grants
@@ -187,8 +213,10 @@ class FastEngine:
         cycles_before = [t.stats.total_cycles for t in tiles]
         for kernel in self._kernels[:-1]:
             tile = kernel.tile
-            self._drain(kernel, x)
-            vmem = kernel.accumulate(self._starting_vmem(tile, batch), x)
+            schedule, vmem = kernel.process(
+                self._starting_vmem(tile, batch), x
+            )
+            self._replay(kernel, schedule)
             fired = vmem >= kernel.thresholds
             tile.stats.fire_cycles += batch
             tile.stats.output_spikes += int(fired.sum())
@@ -200,8 +228,8 @@ class FastEngine:
             x = fired
         kernel = self._kernels[-1]
         tile = kernel.tile
-        self._drain(kernel, x)
-        vmem = kernel.accumulate(self._starting_vmem(tile, batch), x)
+        schedule, vmem = kernel.process(self._starting_vmem(tile, batch), x)
+        self._replay(kernel, schedule)
         tile.stats.fire_cycles += batch
         # The readout path resets the output-tile neurons every image,
         # which also clears their energy ledger — replicate that.
@@ -246,8 +274,8 @@ class FastEngine:
             x = trains[t][None, :]
             for k, kernel in enumerate(self._kernels):
                 tile = kernel.tile
-                self._drain(kernel, x)
-                vmem[k] = kernel.accumulate(vmem[k], x)
+                schedule, vmem[k] = kernel.process(vmem[k], x)
+                self._replay(kernel, schedule)
                 fired = vmem[k] >= kernel.thresholds
                 vmem[k][fired] = 0
                 tile.stats.fire_cycles += 1

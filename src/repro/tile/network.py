@@ -24,28 +24,30 @@ from repro.hw.config import HardwareConfig
 from repro.sram.bitcell import CellType
 from repro.sram.electrical import TransposedPortModel
 from repro.sram.readport import ReadPortModel
+from repro.tile.backends import ENGINES, backend_factory, engines_doc
 from repro.tile.engine import FastEngine
 from repro.tile.mapping import ARRAY_DIM
 from repro.tile.pipeline import PipelineModel
 from repro.tile.tile import Tile
 
-#: Simulation engines: "cycle" steps every tile clock-by-clock (the
-#: bit-true reference); "fast" computes the identical drain schedule,
-#: traces and energies with batched numpy (see repro.tile.engine).
-ENGINES = ("fast", "cycle")
+# ENGINES (re-exported above) is a live view over the engine-backend
+# registration table (repro.tile.backends) — the authoritative engine
+# list and per-engine summaries are *derived* from the registry, never
+# enumerated by hand, so this module's documentation cannot drift when
+# a backend is registered:
+__doc__ += "\nRegistered simulation engines:\n\n" + engines_doc() + "\n"
 
 
 def validate_engine(engine: str) -> None:
-    """Raise :class:`ConfigurationError` unless ``engine`` is known.
+    """Raise :class:`ConfigurationError` unless ``engine`` is registered.
 
-    Call this at API boundaries (evaluators, sweep specs, CLIs) so a
-    typo like ``engine="fats"`` fails immediately with a clear message
-    instead of deep inside the inference call stack.
+    Delegates to the engine-backend registry
+    (:func:`repro.tile.backends.backend_factory`), so the error message
+    always lists every registered backend.  Call this at API boundaries
+    (evaluators, sweep specs, CLIs) so a typo like ``engine="fats"``
+    fails immediately instead of deep inside the inference call stack.
     """
-    if engine not in ENGINES:
-        raise ConfigurationError(
-            f"engine must be one of {ENGINES}, got {engine!r}"
-        )
+    backend_factory(engine)
 
 
 def validate_spikes(spikes: np.ndarray, n_in: int, *,
@@ -180,8 +182,8 @@ class EsamNetwork:
                     f"({self.tiles[-1].n_out},)"
                 )
         self.output_bias = output_bias
-        self._fast_engine: FastEngine | None = None
-        self._fast_engine_versions: tuple[int, ...] | None = None
+        # Per-backend engine cache: name -> (engine, weight versions).
+        self._engines: dict[str, tuple[object, tuple[int, ...]]] = {}
 
     # -- structure ------------------------------------------------------------------
 
@@ -259,41 +261,49 @@ class EsamNetwork:
         """Predicted class: arg-max over output membrane potentials."""
         return int(np.argmax(self.infer(spikes, trace)))
 
-    # -- batched inference (schedule-based fast engine) ------------------------------
+    # -- batched inference (registered engine backends) ------------------------------
 
-    def fast_engine(self, refresh: bool = False) -> FastEngine:
-        """The schedule-based batched engine over this network.
+    def engine_backend(self, engine: str = "fast",
+                       refresh: bool = False):
+        """The (cached) engine instance of a registered backend.
 
-        The engine snapshots the macro weight matrices at construction
-        and rebuilds automatically when a tile reports an in-place
-        weight mutation (``Tile.note_weight_update``, bumped by the
-        online-learning path).  Pass ``refresh=True`` after mutating
+        Engines that snapshot state at construction (weight matrices,
+        packed bitplanes, memoized schedules) rebuild automatically
+        when a tile reports an in-place weight mutation
+        (``Tile.note_weight_update``, bumped by the online-learning and
+        fault-injection paths).  Pass ``refresh=True`` after mutating
         weights through any path that bypasses the tile (e.g. poking
         ``macro.load_weights`` directly).
         """
+        validate_engine(engine)
         versions = tuple(t.weight_version for t in self.tiles)
-        if (refresh or self._fast_engine is None
-                or self._fast_engine_versions != versions):
-            self._fast_engine = FastEngine(self)
-            self._fast_engine_versions = versions
-        return self._fast_engine
+        cached = self._engines.get(engine)
+        if refresh or cached is None or cached[1] != versions:
+            cached = (backend_factory(engine)(self), versions)
+            self._engines[engine] = cached
+        return cached[0]
+
+    def fast_engine(self, refresh: bool = False) -> FastEngine:
+        """The schedule-based batched engine (``engine="fast"``).
+
+        Kept as a convenience alias for the historical API;
+        equivalent to ``engine_backend("fast", refresh=refresh)``.
+        """
+        return self.engine_backend("fast", refresh=refresh)
 
     def infer_batch(self, spikes: np.ndarray,
                     trace: InferenceTrace | None = None,
                     engine: str = "fast") -> np.ndarray:
         """Run a ``(B, n_in)`` spike batch through every tile.
 
-        Returns output membrane readouts ``(B, n_classes)``.  With
-        ``engine="fast"`` the drain schedule is computed in closed form
-        (batched numpy); with ``engine="cycle"`` every image is stepped
-        clock-by-clock.  Both produce identical results, traces and
-        energy ledgers (asserted by the equivalence test suite).
+        Returns output membrane readouts ``(B, n_classes)``.
+        ``engine`` selects any registered backend (see ``ENGINES`` and
+        :mod:`repro.tile.backends`); every backend produces identical
+        results, traces and energy ledgers (asserted per backend by the
+        conformance suite, ``tests/test_backend_conformance.py``).
         """
-        validate_engine(engine)
         spikes = validate_spikes(spikes, self.tiles[0].n_in, batch=True)
-        if engine == "fast":
-            return self.fast_engine().infer_batch(spikes, trace)
-        return np.stack([self.infer(row, trace) for row in spikes])
+        return self.engine_backend(engine).infer_batch(spikes, trace)
 
     def classify_batch(self, spikes: np.ndarray,
                        trace: InferenceTrace | None = None,
@@ -310,36 +320,11 @@ class EsamNetwork:
         readout.  Semantically identical to
         :class:`repro.snn.temporal.TemporalBinarySNN` (asserted by the
         test suite), but executed on the cycle-accurate hardware.
-        Both engines leave identical stats, ledgers and membrane state.
+        ``engine`` selects any registered backend; all backends leave
+        identical stats, ledgers and membrane state, so engines are
+        interchangeable mid-run in any direction.
         """
-        from repro.snn.temporal import TemporalResult
-
-        validate_engine(engine)
-        if engine == "fast":
-            return self.fast_engine().run_temporal(spike_trains)
-        trains = np.atleast_2d(np.asarray(spike_trains)).astype(bool)
-        if trains.shape[1] != self.tiles[0].n_in:
-            raise ConfigurationError(
-                f"spike width {trains.shape[1]} != {self.tiles[0].n_in}"
-            )
-        n_out = self.tiles[-1].n_out
-        out_counts = np.zeros(n_out, dtype=np.int64)
-        hidden_totals = np.zeros(trains.shape[0], dtype=np.int64)
-        for t, spikes in enumerate(trains):
-            x = spikes
-            for k, tile in enumerate(self.tiles):
-                x = tile.run_timestep(x)
-                if k < len(self.tiles) - 1:
-                    hidden_totals[t] += int(x.sum())
-            out_counts += x.astype(np.int64)
-        final = self.tiles[-1].membrane_potentials().astype(np.float64)
-        if self.output_bias is not None:
-            final = final + self.output_bias
-        return TemporalResult(
-            spike_counts=out_counts[None, :],
-            final_vmem=final[None, :],
-            hidden_spike_totals=hidden_totals,
-        )
+        return self.engine_backend(engine).run_temporal(spike_trains)
 
     # -- cost roll-ups -------------------------------------------------------------------
 

@@ -13,6 +13,26 @@ import pytest
 from repro.learning.pretrained import ReferenceModel, get_reference_model
 from repro.sram.electrical import TransposedPortModel
 from repro.sram.readport import ReadPortModel
+from repro.tile.backends import backend_names
+
+
+@pytest.fixture(params=backend_names())
+def backend(request) -> str:
+    """Every registered engine-backend name, one at a time.
+
+    Parametrized straight off the registry, so registering a new
+    backend automatically runs it through every test using this
+    fixture (the conformance suite's closure property).  Tests using
+    it are auto-marked ``backend`` — see pytest.ini and
+    ``pytest_collection_modifyitems`` below.
+    """
+    return request.param
+
+
+def pytest_collection_modifyitems(items) -> None:
+    for item in items:
+        if "backend" in getattr(item, "fixturenames", ()):
+            item.add_marker(pytest.mark.backend)
 
 
 @pytest.fixture(scope="session")

@@ -59,6 +59,26 @@ class TestParity:
                 "pre-refactor golden capture"
             )
 
+    def test_figure8_rows_via_bitpacked_engine_bit_identical_to_seed(
+            self, golden, evaluator):
+        """The popcount backend renders the same golden figure — every
+        metric bit-for-bit, not just the predictions.
+
+        The capture predates the engine-backend registry entirely, so
+        this pins the whole bitpacked path (packing, memoized drain
+        schedules, ledger replay) against a state that never knew it
+        existed.
+        """
+        rows = evaluator.figure8(engine="bitpacked")
+        assert [r.cell_type.value for r in rows] == [
+            r["cell_type"] for r in golden["rows"]
+        ]
+        for got, want in zip(rows, golden["rows"]):
+            assert dataclasses.asdict(got.metrics) == want["metrics"], (
+                f"{want['cell_type']}: bitpacked metrics diverge from the "
+                "pre-registry golden capture"
+            )
+
     def test_headline_claims_bit_identical_to_seed(self, golden, evaluator,
                                                    rows):
         claims = dataclasses.asdict(evaluator.headline_claims(rows))
