@@ -25,16 +25,26 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs import Tracer, set_tracer
 from repro.serve import BatchPolicy, InferenceServer, ModelRegistry
 from repro.snn.encode import encode_images
 from repro.sram.bitcell import CellType
 from repro.sweep.spec import DesignPoint
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+OVERHEAD_JSON = (
+    Path(__file__).resolve().parent.parent / "BENCH_tracing_overhead.json"
+)
 N_REQUESTS = 256
 N_CLIENTS = 8
 POLICY = BatchPolicy(max_batch_size=64, max_wait_ms=2.0)
 MIN_SPEEDUP = 5.0
+#: Tracing overhead gate: serving a traced run may cost at most 5%
+#: over the identical untraced run (plus a small absolute epsilon for
+#: scheduler noise on sub-second runs).
+MAX_TRACING_OVERHEAD = 1.05
+TRACING_EPSILON_S = 0.02
+TIMING_REPEATS = 5
 
 
 def _serve_trace(server: InferenceServer, spikes: np.ndarray) -> np.ndarray:
@@ -136,3 +146,71 @@ def test_microbatched_serving_speedup(reference_model, bench_report):
     # to batch-size-1 flushes would still clear the engine-level
     # speedup above, so gate on the observed batch size directly.
     assert metrics["mean_batch_size"] >= 2.0
+
+
+def test_tracing_overhead_gate(reference_model, bench_report):
+    """Tracing a serving run must cost <= 5% over the untraced run.
+
+    The instrumentation contract: with the default no-op tracer the
+    span sites are a single attribute check (the main benchmark above
+    runs that configuration), and with a *real* tracer installed the
+    recording itself stays under :data:`MAX_TRACING_OVERHEAD`.  Both
+    modes must serve bit-identical predictions — observability must
+    never change results.
+    """
+    point = DesignPoint(cell_type=CellType.C1RW4R)
+    registry = ModelRegistry()
+    network = registry.register("esam", point, snn=reference_model.snn)
+
+    pool = encode_images(reference_model.dataset.test_images)
+    rng = np.random.default_rng(point.seed)
+    spikes = pool[rng.integers(0, pool.shape[0], size=N_REQUESTS)]
+    offline = network.classify_batch(spikes)
+
+    def timed_run() -> tuple[float, np.ndarray]:
+        server = InferenceServer(registry, policy=POLICY,
+                                 max_queue_depth=512)
+        t0 = time.perf_counter()
+        with server:
+            served = _serve_trace(server, spikes)
+        return time.perf_counter() - t0, served
+
+    plain_s = []
+    for _ in range(TIMING_REPEATS):
+        seconds, served = timed_run()
+        plain_s.append(seconds)
+        assert np.array_equal(served, offline)
+
+    traced_s = []
+    tracer = None
+    for _ in range(TIMING_REPEATS):
+        tracer = Tracer(clock=time.monotonic)
+        previous = set_tracer(tracer)
+        try:
+            seconds, served = timed_run()
+        finally:
+            set_tracer(previous)
+        traced_s.append(seconds)
+        assert np.array_equal(served, offline), \
+            "tracing changed served predictions"
+        assert tracer.stats()["spans_recorded"] > N_REQUESTS
+
+    plain_best, traced_best = min(plain_s), min(traced_s)
+    overhead_x = traced_best / plain_best
+    bench_report(OVERHEAD_JSON, {
+        "requests": N_REQUESTS,
+        "clients": N_CLIENTS,
+        "repeats": TIMING_REPEATS,
+        "plain_best_s": round(plain_best, 4),
+        "traced_best_s": round(traced_best, 4),
+        "overhead_x": round(overhead_x, 4),
+        "max_overhead_x": MAX_TRACING_OVERHEAD,
+        "spans_per_traced_run": tracer.stats()["spans_recorded"],
+        "tracer_self_overhead_s": tracer.stats()["overhead_s"],
+    }, point.hardware)
+    print(
+        f"\ntracing overhead: plain {plain_best:.3f}s, traced "
+        f"{traced_best:.3f}s -> {overhead_x:.3f}x "
+        f"(gate {MAX_TRACING_OVERHEAD}x, JSON: {OVERHEAD_JSON.name})"
+    )
+    assert traced_best <= plain_best * MAX_TRACING_OVERHEAD + TRACING_EPSILON_S

@@ -16,6 +16,7 @@ setup(
             "repro-sweep=repro.sweep.__main__:main",
             "repro-serve=repro.serve.__main__:main",
             "repro-reliability=repro.reliability.__main__:main",
+            "repro-obs=repro.obs.__main__:main",
         ],
     },
 )

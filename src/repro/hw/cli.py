@@ -12,8 +12,12 @@ field defaults, never from hand-rolled literals.
 from __future__ import annotations
 
 import argparse
+import pathlib
+import time
 
 from repro.hw.config import PAPER_VPRECH, HardwareConfig
+from repro.obs.metrics import MetricRegistry, set_registry
+from repro.obs.trace import Tracer, set_tracer
 from repro.sram.bitcell import ALL_CELLS, SELECTED_CELL, CellType
 from repro.tech.constants import DEFAULT_NODE, TECHNOLOGY_NODES
 from repro.tech.corners import DEFAULT_CORNER, PROCESS_CORNERS
@@ -38,6 +42,84 @@ def add_engine_argument(parser: argparse.ArgumentParser, *,
              f"(default: {default if default is not None else 'fast'})"
              + (f"; {help_suffix}" if help_suffix else ""),
     )
+
+
+def add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--trace-out`` / ``--metrics-out`` flags.
+
+    Every entry point (serve, sweep, reliability) exposes observability
+    through the same two flags, consumed by :class:`ObservabilityScope`
+    — so where a run is traced or scraped never depends on which CLI
+    launched it.
+    """
+    group = parser.add_argument_group(
+        "observability", "tracing and metrics export (see repro.obs)"
+    )
+    group.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="record spans and write them here on exit; a .json suffix "
+             "selects the Chrome trace_event format (chrome://tracing / "
+             "Perfetto), anything else the JSONL span log",
+    )
+    group.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the process metric registry here on exit "
+             "(Prometheus-style text)",
+    )
+
+
+class ObservabilityScope:
+    """Context manager honouring ``--trace-out`` / ``--metrics-out``.
+
+    With ``--trace-out`` it installs a real :class:`Tracer` as the
+    process default for the duration of the run (restoring the previous
+    tracer — normally the no-op — on exit) and writes the export in
+    the format the path's suffix selects.  With ``--metrics-out`` it
+    exports the run's metric registry on exit.
+
+    The scope always owns a **fresh** :class:`MetricRegistry`
+    (``self.registry``), installed as the process default for the
+    duration — so every CLI run's metrics cover exactly that run, and
+    two runs in one process (in-process CLI tests, notebooks) never
+    accumulate into each other's counters.  CLIs wrap their run
+    unconditionally and pass ``scope.registry`` wherever a collector
+    takes an explicit registry.
+
+    The tracer's clock is ``time.monotonic`` — the same clock the
+    serving stack times requests with — so serve spans (recorded with
+    the server's clock) and engine spans (recorded with the tracer's)
+    land on one time axis.
+    """
+
+    def __init__(self, args: argparse.Namespace) -> None:
+        self.trace_out = getattr(args, "trace_out", None)
+        self.metrics_out = getattr(args, "metrics_out", None)
+        self.tracer: Tracer | None = (
+            Tracer(clock=time.monotonic) if self.trace_out else None
+        )
+        self.registry = MetricRegistry()
+        self._previous: Tracer | None = None
+        self._previous_registry: MetricRegistry | None = None
+
+    def __enter__(self) -> "ObservabilityScope":
+        if self.tracer is not None:
+            self._previous = set_tracer(self.tracer)
+        self._previous_registry = set_registry(self.registry)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        set_registry(self._previous_registry)
+        if self.tracer is not None:
+            set_tracer(self._previous)
+            path = pathlib.Path(self.trace_out)
+            if path.suffix == ".json":
+                self.tracer.write_chrome_trace(path)
+            else:
+                self.tracer.write_jsonl(path)
+            stats = self.tracer.stats()
+            print(f"wrote {path} ({stats['spans_recorded']} spans)")
+        if self.metrics_out:
+            print(f"wrote {self.registry.write_text(self.metrics_out)}")
 
 
 def add_hardware_arguments(parser: argparse.ArgumentParser, *,

@@ -1,0 +1,59 @@
+"""Unified observability: tracing, metrics and the dashboard report.
+
+Every instrumented subsystem — the engine backends, the inference
+server, the sweep/reliability campaign runners — reports through this
+one layer instead of its own ad-hoc counters:
+
+* :mod:`repro.obs.trace` — :class:`Tracer` spans with nesting, an
+  injectable clock, JSONL / Chrome ``trace_event`` exporters, and the
+  :class:`NullTracer` default that makes instrumentation free when
+  tracing is off;
+* :mod:`repro.obs.metrics` — :class:`MetricRegistry` of labeled
+  counters / gauges / histograms with a Prometheus-style text
+  exporter; :class:`~repro.serve.metrics.ServingMetrics` is a view
+  over one of these;
+* :mod:`repro.obs.report` — ``python -m repro.obs report``: one
+  self-contained HTML dashboard over every ``BENCH_*.json`` plus an
+  optional captured trace.
+
+The process-global defaults (:func:`get_tracer` / :func:`get_registry`)
+are what the hot paths consult; CLIs install a real tracer behind
+``--trace-out`` and export the registry behind ``--metrics-out``
+(shared flag surface in :mod:`repro.hw.cli`).
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    get_registry,
+    parse_prometheus_text,
+    set_registry,
+)
+from repro.obs.trace import (
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    load_trace,
+    set_tracer,
+    spans_from_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "get_registry",
+    "get_tracer",
+    "load_trace",
+    "parse_prometheus_text",
+    "set_registry",
+    "set_tracer",
+    "spans_from_jsonl",
+]

@@ -30,8 +30,10 @@ import sys
 
 from repro.errors import ReproError
 from repro.hw.cli import (
+    ObservabilityScope,
     add_engine_argument,
     add_hardware_arguments,
+    add_observability_arguments,
     hardware_from_args,
     narrowed_axes,
 )
@@ -114,6 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_hardware_arguments(parser)
     add_engine_argument(parser, help_suffix="applies to every trial")
+    add_observability_arguments(parser)
     return parser
 
 
@@ -171,7 +174,8 @@ def main(argv: list[str] | None = None) -> int:
         runner = ReliabilityRunner(spec, n_workers=args.workers, cache=cache)
         if args.resume:
             report_resume(runner, "campaign")
-        result = runner.run()
+        with ObservabilityScope(args):
+            result = runner.run()
     except KeyboardInterrupt:
         return print_interrupted("python -m repro.reliability", argv)
     except ReproError as error:

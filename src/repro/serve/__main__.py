@@ -30,14 +30,17 @@ import numpy as np
 from repro.envinfo import environment_info
 from repro.errors import ModelUnavailableError, QueueFullError, ReproError
 from repro.hw.cli import (
+    ObservabilityScope,
     add_engine_argument,
     add_hardware_arguments,
+    add_observability_arguments,
     hardware_from_args,
 )
 from repro.learning.pretrained import QUALITY_PRESETS, get_reference_model
 from repro.resilience.chaos import ChaosPolicy
 from repro.resilience.policy import BreakerPolicy, RetryPolicy
 from repro.serve.batcher import BatchPolicy
+from repro.serve.metrics import ServingMetrics
 from repro.serve.registry import ModelRegistry
 from repro.serve.server import InferenceServer
 from repro.snn.encode import encode_images
@@ -139,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--chaos-seed", type=int, default=0,
         help="seed of the deterministic chaos schedule (default: 0)",
     )
+    add_observability_arguments(parser)
     return parser
 
 
@@ -204,6 +208,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.clients < 1:
         parser.error("--clients must be >= 1")
 
+    scope = ObservabilityScope(args)
     try:
         # --seed (when given) overrides the config file's seed; the
         # resolved hardware seed drives the model and arrival trace.
@@ -238,6 +243,9 @@ def main(argv: list[str] | None = None) -> int:
             registry, policy=policy, max_queue_depth=args.queue_depth,
             engine=args.engine, retry=retry,
             chaos=chaos if chaos.active else None,
+            # Serving series land in the run's scoped registry so
+            # --metrics-out exports them alongside everything else.
+            metrics=ServingMetrics(registry=scope.registry),
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -257,7 +265,10 @@ def main(argv: list[str] | None = None) -> int:
         f"{', adaptive' if args.adaptive else ''})"
     )
     try:
-        with server:
+        # The observability scope closes (and writes --trace-out /
+        # --metrics-out) before the offline verification below, so a
+        # captured trace holds exactly the served run.
+        with scope, server:
             _run_clients(server, spikes, served, args.rate, args.clients,
                          deadline_ms=args.deadline_ms)
     except Exception as error:  # noqa: BLE001 - CLI boundary

@@ -7,6 +7,19 @@ batch-size and queue-depth histograms.  A :class:`ServingMetrics`
 instance is thread-safe (clients submit and the dispatch thread
 completes concurrently) and exports everything as a plain dict so the
 CLI and ``BENCH_serving.json`` can serialize it directly.
+
+Since the observability layer landed, :class:`ServingMetrics` is a
+*view* over a :class:`~repro.obs.metrics.MetricRegistry`: every
+counter (``submitted`` .. ``broken_circuit``) reads a registry
+counter, the batch-size/queue-depth histograms are exact registry
+histograms, and latencies feed a bucketed registry histogram alongside
+the raw sample list the percentiles are computed from.  The historical
+attribute/dict API is unchanged; the registry adds a Prometheus-style
+text export (``metrics.registry.to_text()``, the CLI's
+``--metrics-out``).  By default each collector owns a private
+registry; passing a shared one (e.g. :func:`repro.obs.get_registry`)
+merges the serving series into it — note that two collectors sharing
+a registry share the underlying instruments.
 """
 
 from __future__ import annotations
@@ -14,14 +27,31 @@ from __future__ import annotations
 import json
 import threading
 import time
-from collections import Counter
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricRegistry
 
 #: The latency percentiles the serving SLO is stated over.
 SLO_PERCENTILES = (50.0, 95.0, 99.0)
+
+#: Cumulative latency-histogram bucket bounds (milliseconds).
+LATENCY_BUCKETS_MS = (0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+                      250.0, 500.0, 1000.0)
+
+#: Counter attribute -> registry counter name.  The attribute names
+#: are the public API (``metrics.submitted`` etc.); the registry names
+#: are what ``--metrics-out`` exports.
+COUNTER_NAMES = {
+    "submitted": "repro_serving_submitted_total",
+    "completed": "repro_serving_completed_total",
+    "failed": "repro_serving_failed_total",
+    "rejected": "repro_serving_rejected_total",
+    "shed": "repro_serving_shed_total",
+    "retried": "repro_serving_retried_total",
+    "broken_circuit": "repro_serving_broken_circuit_total",
+}
 
 
 def latency_percentiles(samples_ms, percentiles=SLO_PERCENTILES) -> dict:
@@ -29,7 +59,11 @@ def latency_percentiles(samples_ms, percentiles=SLO_PERCENTILES) -> dict:
 
     Linear interpolation between order statistics (numpy's default), so
     ``p50`` of ``[10, 20, ..., 100]`` is 55.0 — the test suite pins
-    this against hand-computed traces.
+    this against hand-computed traces.  An empty trace raises
+    :class:`ConfigurationError`; the empty-*window* behaviour (a
+    collector with no requests yet) is defined by
+    :meth:`ServingMetrics.percentiles`, which returns explicit
+    ``None`` values instead.
     """
     samples = np.asarray(list(samples_ms), dtype=np.float64)
     if samples.size == 0:
@@ -63,23 +97,66 @@ class ServingMetrics:
     (explicit load shedding), and ``retried`` counts transient flush
     failures absorbed by the
     :class:`~repro.resilience.policy.RetryPolicy`.
+
+    **Empty-window contract** (pinned by the test suite): a collector
+    that has seen no requests still exports a complete, valid
+    snapshot — every counter ``0``, both histograms empty,
+    ``elapsed_s``/``achieved_inf_s`` ``0.0``, and ``latency`` /
+    ``mean_batch_size`` explicitly ``None`` (never ``NaN``, never a
+    missing key, never an exception).
     """
 
-    def __init__(self, clock=time.perf_counter) -> None:
+    def __init__(self, clock=time.perf_counter,
+                 registry: MetricRegistry | None = None) -> None:
         self._clock = clock
         self._lock = threading.Lock()
-        self.submitted = 0
-        self.completed = 0
-        self.failed = 0
-        self.rejected = 0
-        self.shed = 0
-        self.retried = 0
-        self.broken_circuit = 0
+        self.registry = registry if registry is not None else MetricRegistry()
+        self._counters = {
+            attr: self.registry.counter(name)
+            for attr, name in COUNTER_NAMES.items()
+        }
+        self._batch_sizes = self.registry.histogram(
+            "repro_serving_batch_size"
+        )
+        self._queue_depths = self.registry.histogram(
+            "repro_serving_queue_depth"
+        )
+        self._latency_hist = self.registry.histogram(
+            "repro_serving_latency_ms", buckets=LATENCY_BUCKETS_MS
+        )
         self._latencies_ms: list[float] = []
-        self._batch_sizes: Counter[int] = Counter()
-        self._queue_depths: Counter[int] = Counter()
         self._started_at: float | None = None
         self._stopped_at: float | None = None
+
+    # -- counter views (the historical attribute API) --------------------------------
+
+    @property
+    def submitted(self) -> int:
+        return int(self._counters["submitted"].value)
+
+    @property
+    def completed(self) -> int:
+        return int(self._counters["completed"].value)
+
+    @property
+    def failed(self) -> int:
+        return int(self._counters["failed"].value)
+
+    @property
+    def rejected(self) -> int:
+        return int(self._counters["rejected"].value)
+
+    @property
+    def shed(self) -> int:
+        return int(self._counters["shed"].value)
+
+    @property
+    def retried(self) -> int:
+        return int(self._counters["retried"].value)
+
+    @property
+    def broken_circuit(self) -> int:
+        return int(self._counters["broken_circuit"].value)
 
     # -- recording (called by the server and its clients) ---------------------------
 
@@ -93,41 +170,35 @@ class ServingMetrics:
             self._stopped_at = self._clock()
 
     def record_submitted(self, queue_depth: int) -> None:
-        with self._lock:
-            self.submitted += 1
-            self._queue_depths[int(queue_depth)] += 1
+        self._counters["submitted"].inc()
+        self._queue_depths.observe(int(queue_depth))
 
     def record_rejected(self) -> None:
-        with self._lock:
-            self.rejected += 1
+        self._counters["rejected"].inc()
 
     def record_batch(self, batch_size: int) -> None:
-        with self._lock:
-            self._batch_sizes[int(batch_size)] += 1
+        self._batch_sizes.observe(int(batch_size))
 
     def record_completed(self, latency_s: float) -> None:
+        self._counters["completed"].inc()
+        self._latency_hist.observe(latency_s * 1e3)
         with self._lock:
-            self.completed += 1
             self._latencies_ms.append(latency_s * 1e3)
 
     def record_failed(self, count: int = 1) -> None:
-        with self._lock:
-            self.failed += count
+        self._counters["failed"].inc(count)
 
     def record_shed(self, count: int = 1) -> None:
         """Admitted requests failed fast because their deadline expired."""
-        with self._lock:
-            self.shed += count
+        self._counters["shed"].inc(count)
 
     def record_retried(self, count: int = 1) -> None:
         """Transient flush failures absorbed by the retry policy."""
-        with self._lock:
-            self.retried += count
+        self._counters["retried"].inc(count)
 
     def record_broken_circuit(self, count: int = 1) -> None:
         """Submissions failed fast because the model's circuit is open."""
-        with self._lock:
-            self.broken_circuit += count
+        self._counters["broken_circuit"].inc(count)
 
     # -- roll-ups --------------------------------------------------------------------
 
@@ -149,31 +220,38 @@ class ServingMetrics:
         return self.completed / elapsed
 
     def percentiles(self) -> dict:
+        """p50/p95/p99 of the window; all-``None`` before any request.
+
+        The empty window is a defined state, not an error: a scraper
+        reading a just-started server gets ``{"p50_ms": None, ...}``
+        rather than a crash or NaN.
+        """
         with self._lock:
             samples = list(self._latencies_ms)
+        if not samples:
+            return {f"p{pct:g}_ms": None for pct in SLO_PERCENTILES}
         return latency_percentiles(samples)
 
     def to_dict(self) -> dict:
-        """JSON-ready snapshot of every counter, histogram and roll-up."""
+        """JSON-ready snapshot of every counter, histogram and roll-up.
+
+        Always complete: ``latency`` and ``mean_batch_size`` are
+        ``None`` (JSON ``null``) until the first completion / flush,
+        so consumers can rely on the keys existing in every snapshot.
+        """
         with self._lock:
             samples = list(self._latencies_ms)
-            batch_sizes = dict(sorted(self._batch_sizes.items()))
-            queue_depths = dict(sorted(self._queue_depths.items()))
-            counters = {
-                "submitted": self.submitted,
-                "completed": self.completed,
-                "failed": self.failed,
-                "rejected": self.rejected,
-                "shed": self.shed,
-                "retried": self.retried,
-                "broken_circuit": self.broken_circuit,
-            }
+        batch_sizes = self._batch_sizes.counts()
+        queue_depths = self._queue_depths.counts()
+        counters = {attr: getattr(self, attr) for attr in COUNTER_NAMES}
         out = {
             **counters,
             "elapsed_s": round(self.elapsed_s, 6),
             "achieved_inf_s": round(self.achieved_inf_s, 2),
             "batch_size_hist": {str(k): v for k, v in batch_sizes.items()},
             "queue_depth_hist": {str(k): v for k, v in queue_depths.items()},
+            "latency": None,
+            "mean_batch_size": None,
         }
         if samples:
             out["latency"] = {
@@ -181,12 +259,9 @@ class ServingMetrics:
                 "mean_ms": float(np.mean(samples)),
                 "max_ms": float(np.max(samples)),
             }
-            sizes = np.array(
-                [k * v for k, v in batch_sizes.items()], dtype=np.float64
-            )
-            flushes = sum(batch_sizes.values())
-            if flushes:
-                out["mean_batch_size"] = float(sizes.sum() / flushes)
+        flushes = self._batch_sizes.count
+        if flushes:
+            out["mean_batch_size"] = float(self._batch_sizes.sum / flushes)
         return out
 
     def to_json(self) -> str:
@@ -206,12 +281,12 @@ class ServingMetrics:
         ]
         if data["retried"]:
             lines.append(f"transient flush retries: {data['retried']}")
-        if "latency" in data:
+        if data["latency"] is not None:
             lat = data["latency"]
             lines.append(
                 f"latency: p50 {lat['p50_ms']:.2f} ms, "
                 f"p95 {lat['p95_ms']:.2f} ms, p99 {lat['p99_ms']:.2f} ms"
             )
-        if "mean_batch_size" in data:
+        if data["mean_batch_size"] is not None:
             lines.append(f"mean batch size: {data['mean_batch_size']:.1f}")
         return "\n".join(lines)

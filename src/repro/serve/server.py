@@ -51,6 +51,7 @@ from repro.errors import (
     QueueFullError,
     ServingError,
 )
+from repro.obs.trace import get_tracer
 from repro.resilience.chaos import ChaosPolicy
 from repro.resilience.policy import RetryPolicy
 from repro.serve.batcher import BatchPolicy, MicroBatcher
@@ -104,6 +105,16 @@ class InferenceServer:
         first runs the policy's deterministic fault schedule (latency
         spikes, injected flush errors).  Test-harness knob — leave
         ``None`` in real serving.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`.  ``None`` (default)
+        consults the process-global tracer at each flush, which is a
+        no-op :class:`~repro.obs.trace.NullTracer` unless one was
+        installed — so instrumentation costs one attribute check per
+        batch when tracing is off (the serving benchmark gates this).
+        Serve spans are recorded with the *server's* clock (queue
+        waits start at submit time), so a trace mixing serve and
+        engine spans should use one clock for both — construct the
+        server with ``clock=tracer.now`` as the CLI does.
     """
 
     def __init__(self, registry: ModelRegistry,
@@ -113,7 +124,8 @@ class InferenceServer:
                  metrics: ServingMetrics | None = None,
                  retry: RetryPolicy | None = None,
                  chaos: ChaosPolicy | None = None,
-                 clock=time.monotonic) -> None:
+                 clock=time.monotonic,
+                 tracer=None) -> None:
         validate_engine(engine)
         if max_queue_depth < 1:
             raise ConfigurationError(
@@ -126,6 +138,7 @@ class InferenceServer:
         self.metrics = metrics or ServingMetrics()
         self.retry = retry
         self.chaos = chaos if chaos is not None and chaos.active else None
+        self._tracer = tracer
         self._clock = clock
         self._cond = threading.Condition()
         self._inbox: list[_Request] = []
@@ -412,6 +425,16 @@ class InferenceServer:
                 self._cond.notify_all()
         if not live:
             return
+        tracer = self._tracer if self._tracer is not None else get_tracer()
+        if tracer.enabled:
+            # Serve spans use the server's clock: a queue wait starts
+            # at submit time, before any flush-scoped span could open.
+            assembled = min(r.submitted_at for r in live)
+            tracer.record("serve.batch_assembly", assembled, now,
+                          model=model, size=len(live))
+            for request in live:
+                tracer.record("serve.queue_wait", request.submitted_at,
+                              now, model=model)
         batch = np.stack([r.spikes for r in live])
         flush_index = self._flush_counts.get(model, 0)
         self._flush_counts[model] = flush_index + 1
@@ -425,7 +448,13 @@ class InferenceServer:
         def on_retry(attempt, error, delay_ms) -> None:
             self.metrics.record_retried()
             self.registry.record_flush_failure(model)
+            if tracer.enabled:
+                at = self._clock()
+                tracer.record("serve.retry", at, at, model=model,
+                              attempt=attempt, delay_ms=delay_ms,
+                              error=type(error).__name__)
 
+        flush_started = self._clock()
         try:
             if self.retry is not None:
                 predictions = self.retry.call(flush, on_retry=on_retry)
@@ -436,9 +465,17 @@ class InferenceServer:
             for request in live:
                 request.future.set_exception(error)
             self.metrics.record_failed(len(live))
+            if tracer.enabled:
+                tracer.record("serve.flush", flush_started, self._clock(),
+                              model=model, size=len(live),
+                              engine=self.engine, outcome="failed")
         else:
             self.registry.record_flush_success(model)
             done = self._clock()
+            if tracer.enabled:
+                tracer.record("serve.flush", flush_started, done,
+                              model=model, size=len(live),
+                              engine=self.engine, outcome="completed")
             self.metrics.record_batch(len(live))
             for request, prediction in zip(live, predictions):
                 request.future.set_result(int(prediction))

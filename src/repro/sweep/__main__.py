@@ -32,8 +32,10 @@ import sys
 
 from repro.errors import ReproError
 from repro.hw.cli import (
+    ObservabilityScope,
     add_engine_argument,
     add_hardware_arguments,
+    add_observability_arguments,
     hardware_from_args,
     narrowed_axes,
 )
@@ -104,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
         parser, default=None,
         help_suffix="narrows the engines sweep's axis when given",
     )
+    add_observability_arguments(parser)
     return parser
 
 
@@ -155,7 +158,8 @@ def main(argv: list[str] | None = None) -> int:
         runner = SweepRunner(spec, n_workers=args.workers, cache=cache)
         if args.resume:
             report_resume(runner, "sweep")
-        result = runner.run()
+        with ObservabilityScope(args):
+            result = runner.run()
     except KeyboardInterrupt:
         return print_interrupted("python -m repro.sweep", argv)
     except ReproError as error:

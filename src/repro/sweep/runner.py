@@ -36,6 +36,8 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError, WorkerCrashError
 from repro.learning.convert import ConvertedSNN
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.learning.pretrained import get_reference_model
 from repro.resilience.chaos import ChaosPolicy
 from repro.resilience.journal import CampaignJournal, run_id_for
@@ -341,11 +343,23 @@ def run_cached_points(points: list, *, cache: ResultCache | None,
     ``KeyboardInterrupt`` marks the journal interrupted and propagates
     — partial results are already cached, so a ``--resume`` re-run
     recomputes nothing that finished.
+
+    Observability: cache hits/misses are also counted into the process
+    metric registry (``repro_cache_{hits,misses}_total{kind=...}`` —
+    the registry is cross-campaign where :class:`SweepStats` is
+    per-run), and with a real tracer installed the run records a
+    ``campaign.cache_scan`` span, a ``campaign.evaluate`` span around
+    the miss evaluation, and one ``campaign.point`` span per completed
+    point.  Point spans measure the interval since the *previous*
+    completion in the parent process — with worker shards that is
+    completion cadence, not worker-side compute time.
     """
+    tracer = get_tracer()
     stats = SweepStats()
     rows: list = [None] * len(points)
     misses: list[_WorkItem] = []
     all_keys: list[str] = []
+    scan_started = tracer.now() if tracer.enabled else 0.0
     if cache is not None:
         for index, point in enumerate(points):
             key = key_fn(point)
@@ -356,10 +370,21 @@ def run_cached_points(points: list, *, cache: ResultCache | None,
                 stats.cache_hits += 1
             else:
                 misses.append(_WorkItem(index=index, point=point, key=key))
+        registry = get_registry()
+        registry.counter("repro_cache_hits_total", kind=kind).inc(
+            stats.cache_hits
+        )
+        registry.counter("repro_cache_misses_total", kind=kind).inc(
+            len(misses)
+        )
     else:
         misses = [
             _WorkItem(index=i, point=p, key="") for i, p in enumerate(points)
         ]
+    if tracer.enabled:
+        tracer.record("campaign.cache_scan", scan_started, tracer.now(),
+                      kind=kind, points=len(points),
+                      hits=stats.cache_hits, misses=len(misses))
 
     journal: CampaignJournal | None = None
     if journal_dir is not None and cache is not None:
@@ -374,6 +399,7 @@ def run_cached_points(points: list, *, cache: ResultCache | None,
         )
 
     done_positions: set[int] = set()
+    last_done_at = [tracer.now() if tracer.enabled else 0.0]
 
     def on_done(position: int, row) -> None:
         item = misses[position]
@@ -384,13 +410,23 @@ def run_cached_points(points: list, *, cache: ResultCache | None,
         rows[item.index] = row
         stats.evaluated += 1
         done_positions.add(position)
+        if tracer.enabled:
+            done_at = tracer.now()
+            tracer.record("campaign.point", last_done_at[0], done_at,
+                          kind=kind, index=item.index)
+            last_done_at[0] = done_at
 
     miss_points = [item.point for item in misses]
+    evaluate_started = tracer.now() if tracer.enabled else 0.0
     try:
         if _accepts_on_done(evaluate):
             evaluated = evaluate(miss_points, on_done=on_done)
         else:
             evaluated = evaluate(miss_points)
+        if tracer.enabled:
+            tracer.record("campaign.evaluate", evaluate_started,
+                          tracer.now(), kind=kind,
+                          evaluated=len(miss_points))
         for position, (item, row) in enumerate(zip(misses, evaluated)):
             if position in done_positions:
                 continue

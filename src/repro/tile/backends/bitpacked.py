@@ -34,6 +34,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.tile.engine import FastEngine, _TileKernel
 from repro.tile.fast import DrainSchedule, block_pending_counts
 
@@ -186,7 +188,13 @@ class _BitpackedKernel(_TileKernel):
         pattern is scheduled and accumulated once (memoized across
         calls), then scattered back to every image that carries it.
         """
-        packed = pack_spike_rows(spikes)
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span("engine.pack",
+                             batch=int(np.atleast_2d(spikes).shape[0])):
+                packed = pack_spike_rows(spikes)
+        else:
+            packed = pack_spike_rows(spikes)
         batch = packed.shape[0]
         row_blocks = self.tile.mapping.row_blocks
         n_out = self.tile.n_out
@@ -262,3 +270,29 @@ class BitpackedEngine(FastEngine):
             "misses": sum(k.memo_misses for k in self._kernels),
             "patterns": sum(len(k._memo) for k in self._kernels),
         }
+
+    def publish_memo_stats(self) -> dict:
+        """Mirror :meth:`memo_stats` into the process metric registry.
+
+        Gauges (not counters) because the kernels own the source of
+        truth — the registry shows the latest snapshot, including the
+        derived hit rate, and re-publishing after a kernel rebuild
+        (weight-version bump) resets cleanly.
+        """
+        stats = self.memo_stats()
+        registry = get_registry()
+        registry.gauge("repro_bitpacked_memo_hits").set(stats["hits"])
+        registry.gauge("repro_bitpacked_memo_misses").set(stats["misses"])
+        registry.gauge("repro_bitpacked_memo_patterns").set(
+            stats["patterns"]
+        )
+        lookups = stats["hits"] + stats["misses"]
+        registry.gauge("repro_bitpacked_memo_hit_rate").set(
+            stats["hits"] / lookups if lookups else 0.0
+        )
+        return stats
+
+    def infer_batch(self, spikes: np.ndarray, trace=None) -> np.ndarray:
+        out = super().infer_batch(spikes, trace)
+        self.publish_memo_stats()
+        return out

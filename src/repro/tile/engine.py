@@ -31,6 +31,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.trace import get_tracer
 from repro.tile.fast import (
     DrainSchedule,
     drain_schedule,
@@ -141,11 +142,32 @@ class FastEngine:
     #: Per-tile kernel class; subclass hook for alternative backends.
     kernel_cls: type = _TileKernel
 
-    def __init__(self, network) -> None:
+    def __init__(self, network, tracer=None) -> None:
         self.network = network
+        #: Explicitly injected tracer; ``None`` means consult the
+        #: process-global tracer (a no-op by default) at each batch.
+        self.tracer = tracer
         self._kernels = [self.kernel_cls(tile) for tile in network.tiles]
 
     # -- bookkeeping ---------------------------------------------------------
+
+    def _process_and_replay(self, index: int, kernel: _TileKernel,
+                            vmem: np.ndarray, x: np.ndarray, tracer):
+        """One tile pass plus ledger replay, per-stage traced when on.
+
+        The disabled path pays exactly one ``tracer.enabled`` check per
+        tile — the serving benchmark's overhead gate measures this.
+        """
+        if tracer.enabled:
+            with tracer.span("engine.kernel", tile=index,
+                             batch=int(x.shape[0])):
+                schedule, vmem = kernel.process(vmem, x)
+            with tracer.span("engine.replay", tile=index):
+                self._replay(kernel, schedule)
+        else:
+            schedule, vmem = kernel.process(vmem, x)
+            self._replay(kernel, schedule)
+        return schedule, vmem
 
     def _replay(self, kernel: _TileKernel,
                 schedule: DrainSchedule) -> DrainSchedule:
@@ -211,12 +233,12 @@ class FastEngine:
             )
         batch = x.shape[0]
         cycles_before = [t.stats.total_cycles for t in tiles]
-        for kernel in self._kernels[:-1]:
+        tracer = self.tracer if self.tracer is not None else get_tracer()
+        for k, kernel in enumerate(self._kernels[:-1]):
             tile = kernel.tile
-            schedule, vmem = kernel.process(
-                self._starting_vmem(tile, batch), x
+            schedule, vmem = self._process_and_replay(
+                k, kernel, self._starting_vmem(tile, batch), x, tracer
             )
-            self._replay(kernel, schedule)
             fired = vmem >= kernel.thresholds
             tile.stats.fire_cycles += batch
             tile.stats.output_spikes += int(fired.sum())
@@ -228,8 +250,10 @@ class FastEngine:
             x = fired
         kernel = self._kernels[-1]
         tile = kernel.tile
-        schedule, vmem = kernel.process(self._starting_vmem(tile, batch), x)
-        self._replay(kernel, schedule)
+        schedule, vmem = self._process_and_replay(
+            len(self._kernels) - 1, kernel,
+            self._starting_vmem(tile, batch), x, tracer,
+        )
         tile.stats.fire_cycles += batch
         # The readout path resets the output-tile neurons every image,
         # which also clears their energy ledger — replicate that.
@@ -270,12 +294,14 @@ class FastEngine:
         out_counts = np.zeros(n_out, dtype=np.int64)
         hidden_totals = np.zeros(timesteps, dtype=np.int64)
         vmem = [t.membrane_potentials()[None, :].copy() for t in tiles]
+        tracer = self.tracer if self.tracer is not None else get_tracer()
         for t in range(timesteps):
             x = trains[t][None, :]
             for k, kernel in enumerate(self._kernels):
                 tile = kernel.tile
-                schedule, vmem[k] = kernel.process(vmem[k], x)
-                self._replay(kernel, schedule)
+                schedule, vmem[k] = self._process_and_replay(
+                    k, kernel, vmem[k], x, tracer
+                )
                 fired = vmem[k] >= kernel.thresholds
                 vmem[k][fired] = 0
                 tile.stats.fire_cycles += 1

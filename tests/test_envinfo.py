@@ -1,0 +1,77 @@
+"""Pin the environment-stamp schema (`repro.envinfo`).
+
+Every BENCH JSON, trace export and metrics export embeds
+``environment_info()``; downstream tooling (the dashboard, cross-PR
+trajectory diffs) indexes into it by key, so the schema is a contract:
+exactly these keys, absence expressed as ``None`` rather than a
+missing key.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.envinfo import (
+    TRACKED_DEPENDENCIES,
+    dependency_versions,
+    environment_info,
+    git_sha,
+)
+
+#: The pinned key set, in order.
+EXPECTED_KEYS = (
+    "python", "numpy", "scipy", "hypothesis", "pytest",
+    "platform", "machine", "git_sha", "timestamp_utc",
+)
+
+
+class TestSchema:
+    def test_exact_key_set_and_order(self):
+        assert tuple(environment_info()) == EXPECTED_KEYS
+
+    def test_required_values_are_strings(self):
+        info = environment_info()
+        for key in ("python", "numpy", "platform", "machine",
+                    "timestamp_utc"):
+            assert isinstance(info[key], str) and info[key]
+
+    def test_optional_values_are_string_or_none(self):
+        info = environment_info()
+        for key in (*TRACKED_DEPENDENCIES, "git_sha"):
+            assert info[key] is None or (
+                isinstance(info[key], str) and info[key]
+            )
+
+    def test_json_serializable(self):
+        assert json.loads(json.dumps(environment_info()))
+
+
+class TestDependencyVersions:
+    def test_covers_exactly_the_tracked_dependencies(self):
+        assert tuple(dependency_versions()) == TRACKED_DEPENDENCIES
+
+    def test_versions_match_imported_modules(self):
+        # The tracked packages are all importable in the test env, so
+        # the metadata lookup must agree with the live modules.
+        import hypothesis
+        import pytest
+        import scipy
+
+        versions = dependency_versions()
+        assert versions["scipy"] == scipy.__version__
+        assert versions["hypothesis"] == hypothesis.__version__
+        assert versions["pytest"] == pytest.__version__
+
+
+class TestGitSha:
+    def test_sha_shape_in_a_checkout(self):
+        # The repo under test is a git checkout, so the stamp must
+        # resolve to a full 40-hex SHA (None is reserved for exports
+        # from an installed package outside any checkout).
+        sha = git_sha()
+        assert sha is not None
+        assert len(sha) == 40
+        assert set(sha) <= set("0123456789abcdef")
+
+    def test_cached_per_process(self):
+        assert git_sha() is git_sha()

@@ -189,6 +189,64 @@ class TestServingMetrics:
         assert data["mean_batch_size"] == pytest.approx(2.0)
         assert "throughput" in metrics.summary()
 
+    def test_empty_window_snapshot_is_complete_and_valid(self):
+        # The empty-window contract: a collector that has seen no
+        # requests still exports a full snapshot — every counter 0,
+        # latency/mean_batch_size explicitly None (never NaN, never a
+        # missing key), and no method raises.
+        metrics = ServingMetrics(clock=FakeClock())
+        data = metrics.to_dict()
+        for counter in ("submitted", "completed", "failed", "rejected",
+                        "shed", "retried", "broken_circuit"):
+            assert data[counter] == 0
+        assert data["latency"] is None
+        assert data["mean_batch_size"] is None
+        assert data["batch_size_hist"] == {}
+        assert data["queue_depth_hist"] == {}
+        assert data["elapsed_s"] == 0.0
+        assert data["achieved_inf_s"] == 0.0
+        assert metrics.percentiles() == {
+            "p50_ms": None, "p95_ms": None, "p99_ms": None,
+        }
+        assert "0 submitted" in metrics.summary()
+        import json
+
+        assert json.loads(metrics.to_json())["latency"] is None
+
+    def test_empty_window_after_start_does_not_crash(self):
+        clock = FakeClock()
+        metrics = ServingMetrics(clock=clock)
+        metrics.mark_started()
+        clock.advance(1.0)
+        data = metrics.to_dict()
+        assert data["elapsed_s"] == pytest.approx(1.0)
+        assert data["achieved_inf_s"] == 0.0
+        assert data["latency"] is None
+
+    def test_collector_is_a_registry_view(self):
+        # Every counter the attribute API exposes is backed by a
+        # registry series, so --metrics-out exports agree with
+        # to_dict() by construction.
+        from repro.obs import parse_prometheus_text
+
+        metrics = ServingMetrics(clock=FakeClock())
+        metrics.record_submitted(queue_depth=1)
+        metrics.record_completed(0.010)
+        metrics.record_shed(2)
+        text = metrics.registry.to_text()
+        samples = parse_prometheus_text(text)
+        assert samples[("repro_serving_submitted_total", ())] == 1
+        assert samples[("repro_serving_completed_total", ())] == 1
+        assert samples[("repro_serving_shed_total", ())] == 2
+        assert metrics.submitted == 1 and metrics.shed == 2
+
+    def test_collectors_default_to_private_registries(self):
+        a, b = ServingMetrics(), ServingMetrics()
+        a.record_submitted(queue_depth=1)
+        assert a.submitted == 1
+        assert b.submitted == 0
+        assert a.registry is not b.registry
+
 
 # -- registry ------------------------------------------------------------------------
 
