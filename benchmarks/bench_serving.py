@@ -19,6 +19,8 @@ is comparable across PRs.
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 import time
 from pathlib import Path
@@ -26,7 +28,8 @@ from pathlib import Path
 import numpy as np
 
 from repro.obs import Tracer, set_tracer
-from repro.serve import BatchPolicy, InferenceServer, ModelRegistry
+from repro.serve import BatchPolicy, FleetServer, InferenceServer, ModelRegistry
+from repro.serve.__main__ import run_open_loop
 from repro.snn.encode import encode_images
 from repro.sram.bitcell import CellType
 from repro.sweep.spec import DesignPoint
@@ -39,6 +42,15 @@ N_REQUESTS = 256
 N_CLIENTS = 8
 POLICY = BatchPolicy(max_batch_size=64, max_wait_ms=2.0)
 MIN_SPEEDUP = 5.0
+#: Fleet scaling curve: open-loop saturation throughput at each
+#: replica count, plus the gate on the 4-worker speedup over 1 worker.
+#: The gate only binds on hosts with >= MIN_SCALING_CORES cores — on a
+#: smaller box N processes time-share the same cores and no fabric can
+#: scale, so the curve is recorded but not gated (the JSON carries
+#: ``cpu_count`` so readers can tell which regime produced it).
+WORKER_COUNTS = (1, 2, 4)
+MIN_FLEET_SCALING = 2.5
+MIN_SCALING_CORES = 4
 #: Tracing overhead gate: serving a traced run may cost at most 5%
 #: over the identical untraced run (plus a small absolute epsilon for
 #: scheduler noise on sub-second runs).
@@ -146,6 +158,89 @@ def test_microbatched_serving_speedup(reference_model, bench_report):
     # to batch-size-1 flushes would still clear the engine-level
     # speedup above, so gate on the observed batch size directly.
     assert metrics["mean_batch_size"] >= 2.0
+
+
+def test_fleet_worker_scaling(reference_model, bench_report):
+    """Open-loop saturation throughput vs fleet worker count.
+
+    Drives the identical seeded trace through a
+    :class:`~repro.serve.fleet.FleetServer` at 1, 2 and 4 engine
+    worker processes in *open-loop* (saturation) mode — closed-loop
+    clients cap offered load at ``clients / latency`` and would
+    understate every configuration — asserting bit-identical
+    predictions at every width, and merges a ``fleet_scaling`` section
+    into ``BENCH_serving.json``.  The >= ``MIN_FLEET_SCALING`` gate on
+    the 4-worker point applies only on hosts with enough cores to make
+    scaling physically possible.
+    """
+    point = DesignPoint(cell_type=CellType.C1RW4R)
+    pool = encode_images(reference_model.dataset.test_images)
+    rng = np.random.default_rng(point.seed)
+    spikes = pool[rng.integers(0, pool.shape[0], size=N_REQUESTS)]
+
+    offline = None
+    curve = {}
+    for n_workers in WORKER_COUNTS:
+        registry = ModelRegistry()
+        network = registry.register("esam", point, snn=reference_model.snn)
+        if offline is None:
+            offline = network.classify_batch(spikes)
+        server = FleetServer(registry, n_workers=n_workers, policy=POLICY)
+        served = np.full(len(spikes), -1, dtype=np.int64)
+        t0 = time.perf_counter()
+        with server:
+            run_open_loop(server, spikes, served,
+                          submit_kwargs={"slo_class": "batch"})
+        seconds = time.perf_counter() - t0
+        assert np.array_equal(served, offline), (
+            f"{n_workers}-worker fleet diverged from offline classify_batch"
+        )
+        metrics = server.metrics.to_dict()
+        assert metrics["completed"] == N_REQUESTS
+        assert metrics["failed"] == 0
+        curve[n_workers] = {
+            "seconds": round(seconds, 4),
+            "inf_per_s": round(N_REQUESTS / seconds, 2),
+            "mean_batch_size": metrics["mean_batch_size"],
+        }
+
+    scaling_4x = round(
+        curve[WORKER_COUNTS[-1]]["inf_per_s"] / curve[1]["inf_per_s"], 2
+    )
+    cpu_count = os.cpu_count() or 1
+    gated = cpu_count >= MIN_SCALING_CORES
+    section = {
+        "mode": "open_loop",
+        "requests": N_REQUESTS,
+        "workers": {str(n): curve[n] for n in WORKER_COUNTS},
+        "scaling_4x_over_1x": scaling_4x,
+        "min_scaling_gate": MIN_FLEET_SCALING,
+        "cpu_count": cpu_count,
+        "scaling_gate_applied": gated,
+        "predictions_identical": True,
+    }
+    # Merge into the trajectory file the headline benchmark wrote (it
+    # runs first in this module); bench_report re-stamps hardware /
+    # environment / observability, so strip the stamped keys first.
+    payload: dict = {}
+    if BENCH_JSON.exists():
+        payload = json.loads(BENCH_JSON.read_text())
+        for stamped in ("hardware", "environment", "observability"):
+            payload.pop(stamped, None)
+    payload["fleet_scaling"] = section
+    bench_report(BENCH_JSON, payload, point.hardware)
+    print(
+        "\nfleet scaling (open loop): "
+        + ", ".join(
+            f"{n}w {curve[n]['inf_per_s']:,.0f} inf/s"
+            for n in WORKER_COUNTS
+        )
+        + f" -> {scaling_4x:.2f}x on {cpu_count} cores"
+        + ("" if gated else " (gate skipped: too few cores)")
+        + f" (JSON: {BENCH_JSON.name})"
+    )
+    if gated:
+        assert scaling_4x >= MIN_FLEET_SCALING
 
 
 def test_tracing_overhead_gate(reference_model, bench_report):

@@ -14,6 +14,12 @@ main thread is wedged.
 
 ``REPRO_TEST_TIMEOUT_S`` overrides the cap (``0`` disables it); the
 test suite uses that to exercise the shim without waiting minutes.
+
+Tests marked ``multiprocess`` (the fleet suite: real worker processes,
+shared-memory rings, crash/respawn supervision) get a *tighter* cap
+(``MULTIPROCESS_CAP_S``): a deadlocked fabric must fail in seconds,
+not ride out the generic budget, and an orphaned worker process must
+be reaped by the dump-and-die path before it can wedge CI.
 """
 
 from __future__ import annotations
@@ -33,11 +39,17 @@ except ImportError:
     HAVE_TIMEOUT_PLUGIN = False
 
 
-def _cap_s(config) -> float:
+#: Hard per-test cap for ``@pytest.mark.multiprocess`` tests.
+MULTIPROCESS_CAP_S = 120.0
+
+
+def _cap_s(item) -> float:
     env = os.environ.get("REPRO_TEST_TIMEOUT_S")
     if env:
         return float(env)
-    value = config.getini("timeout")
+    if item.get_closest_marker("multiprocess") is not None:
+        return MULTIPROCESS_CAP_S
+    value = item.config.getini("timeout")
     return float(value) if value else 0.0
 
 
@@ -56,7 +68,7 @@ if not HAVE_TIMEOUT_PLUGIN:
 
     @pytest.hookimpl(hookwrapper=True)
     def pytest_runtest_protocol(item, nextitem):
-        cap = _cap_s(item.config)
+        cap = _cap_s(item)
         if cap <= 0:
             yield
             return

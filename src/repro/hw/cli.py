@@ -68,6 +68,35 @@ def add_observability_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def add_fleet_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--workers`` / ``--slo-class`` flags.
+
+    ``--workers 0`` (the default) selects in-process serving
+    (:class:`~repro.serve.server.InferenceServer`); any positive count
+    selects the multi-process :class:`~repro.serve.fleet.FleetServer`
+    with that many engine worker replicas.  SLO class choices come from
+    the fleet's stock admission classes, imported lazily so plain
+    hardware CLIs never pay for the serving stack.
+    """
+    from repro.serve.fleet import DEFAULT_SLO_CLASSES
+
+    group = parser.add_argument_group(
+        "fleet", "multi-process serving (see repro.serve.fleet)"
+    )
+    group.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="engine worker processes; 0 (default) serves in-process, "
+             "N >= 1 fans out to a FleetServer with N replicas",
+    )
+    group.add_argument(
+        "--slo-class", choices=sorted(DEFAULT_SLO_CLASSES),
+        default="default",
+        help="admission class applied to generated requests: per-class "
+             "queue-depth limits and default deadlines (fleet only; "
+             "default: default)",
+    )
+
+
 class ObservabilityScope:
     """Context manager honouring ``--trace-out`` / ``--metrics-out``.
 

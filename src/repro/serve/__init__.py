@@ -9,8 +9,17 @@ requests into a bounded queue, a per-model
 :class:`~repro.serve.registry.ModelRegistry` maps model names to
 networks built from sweep design points (hot-swappable), and
 :class:`~repro.serve.metrics.ServingMetrics` records the latency
-SLO percentiles.  ``python -m repro.serve`` runs a closed-loop load
-generator against the stack.  See ``docs/serving.md``.
+SLO percentiles.  ``python -m repro.serve`` runs a closed-loop or
+open-loop load generator against the stack.  See ``docs/serving.md``.
+
+For multi-process serving, :class:`~repro.serve.fleet.FleetServer`
+fans the same request stream out to N engine worker processes over a
+shared-memory :class:`~repro.serve.shm.SpikeRing` of bit-packed spike
+batches, with seeded consistent-hash routing
+(:class:`~repro.serve.pool.ConsistentHashRouter`), per-SLO-class
+admission control (:class:`~repro.serve.fleet.SloClass`), rolling
+hot-swap and supervised crash recovery — bit-identical to
+single-process serving at any worker count.
 
 Failure handling is opt-in through :mod:`repro.resilience`: request
 deadlines with explicit load shedding, a per-flush
@@ -19,17 +28,27 @@ breakers on the registry (``docs/resilience.md``).
 """
 
 from repro.serve.batcher import BatchPolicy, MicroBatcher
+from repro.serve.fleet import DEFAULT_SLO_CLASSES, FleetServer, SloClass
 from repro.serve.metrics import ServingMetrics, latency_percentiles
+from repro.serve.pool import ConsistentHashRouter, ModelPayload
 from repro.serve.registry import ModelRegistry, RegisteredModel, build_network
 from repro.serve.server import InferenceServer
+from repro.serve.shm import RingGeometry, SpikeRing
 
 __all__ = [
     "BatchPolicy",
+    "ConsistentHashRouter",
+    "DEFAULT_SLO_CLASSES",
+    "FleetServer",
     "InferenceServer",
     "MicroBatcher",
+    "ModelPayload",
     "ModelRegistry",
     "RegisteredModel",
+    "RingGeometry",
     "ServingMetrics",
+    "SloClass",
+    "SpikeRing",
     "build_network",
     "latency_percentiles",
 ]

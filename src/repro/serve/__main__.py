@@ -1,4 +1,4 @@
-"""Closed-loop load generator CLI: ``python -m repro.serve``.
+"""Load generator CLI: ``python -m repro.serve``.
 
 Examples::
 
@@ -6,15 +6,30 @@ Examples::
     python -m repro.serve --rate 500 --duration 1 --clients 4 --adaptive
     python -m repro.serve --cell 1RW+2R --max-batch 32 --json serving.json
     python -m repro.serve --deadline-ms 50 --retries 3 --chaos-flush-p 0.2
+    python -m repro.serve --open-loop --duration 2
+    python -m repro.serve --workers 4 --open-loop --slo-class batch
 
-Spins up an :class:`~repro.serve.server.InferenceServer` over the
-reference model at the chosen design point, then drives it with
-``--clients`` closed-loop clients (each waits for its previous
-response before sending the next request) paced to an aggregate
-``--rate``.  The request trace — which test image each request carries
-— is drawn from a seeded generator, so the run is reproducible and the
-served predictions can be verified bit-identical against the offline
-``classify_batch`` of the same trace, which this CLI does by default.
+Spins up a serving stack over the reference model at the chosen design
+point — in-process (:class:`~repro.serve.server.InferenceServer`, the
+default) or a multi-process :class:`~repro.serve.fleet.FleetServer`
+with ``--workers N`` engine replicas — then drives it with a seeded
+request trace in one of two modes:
+
+* **closed loop** (default): ``--clients`` client threads, each
+  waiting for its previous response before the next send, paced to an
+  aggregate ``--rate``.  Measures latency under a controlled offered
+  load.
+* **open loop** (``--open-loop``): the whole trace is submitted as
+  fast as admission control allows, with no think time.  Measures
+  *saturation throughput* — closed-loop clients cap the offered load
+  at ``clients / latency``, which understates a server whose batching
+  only pays off beyond that point, and is the mode the worker-scaling
+  benchmark uses.
+
+Either way the trace is drawn from a seeded generator, so the run is
+reproducible and the served predictions can be verified bit-identical
+against the offline ``classify_batch`` of the same trace, which this
+CLI does by default — for any worker count.
 """
 
 from __future__ import annotations
@@ -32,6 +47,7 @@ from repro.errors import ModelUnavailableError, QueueFullError, ReproError
 from repro.hw.cli import (
     ObservabilityScope,
     add_engine_argument,
+    add_fleet_arguments,
     add_hardware_arguments,
     add_observability_arguments,
     hardware_from_args,
@@ -40,6 +56,7 @@ from repro.learning.pretrained import QUALITY_PRESETS, get_reference_model
 from repro.resilience.chaos import ChaosPolicy
 from repro.resilience.policy import BreakerPolicy, RetryPolicy
 from repro.serve.batcher import BatchPolicy
+from repro.serve.fleet import FleetServer
 from repro.serve.metrics import ServingMetrics
 from repro.serve.registry import ModelRegistry
 from repro.serve.server import InferenceServer
@@ -53,12 +70,13 @@ MODEL_NAME = "esam"
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve",
-        description="Closed-loop load test of the micro-batching "
-                    "inference server.",
+        description="Load test of the micro-batching inference server "
+                    "(closed-loop or open-loop, in-process or fleet).",
     )
     parser.add_argument(
         "--rate", type=float, default=1000.0, metavar="R",
-        help="aggregate request arrival rate, requests/s (default: 1000)",
+        help="aggregate request arrival rate, requests/s (default: 1000); "
+             "with --open-loop only sizes the trace (rate*duration)",
     )
     parser.add_argument(
         "--duration", type=float, default=1.0, metavar="S",
@@ -66,7 +84,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--clients", type=int, default=8, metavar="N",
-        help="closed-loop client threads (default: 8)",
+        help="closed-loop client threads (default: 8; ignored with "
+             "--open-loop)",
+    )
+    parser.add_argument(
+        "--open-loop", action="store_true",
+        help="saturation mode: submit the whole trace as fast as "
+             "admission allows instead of pacing closed-loop clients",
     )
     # One shared hardware surface (--config/--cell/--vprech/--node/
     # --corner) with choices and defaults derived from the registries,
@@ -96,8 +120,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--queue-depth", type=int, default=512, metavar="N",
-        help="in-flight bound before backpressure (default: 512)",
+        help="in-flight bound before backpressure (default: 512; "
+             "in-process server only — the fleet bounds depth per "
+             "SLO class)",
     )
+    add_fleet_arguments(parser)
     parser.add_argument(
         "--no-verify", action="store_true",
         help="skip the offline classify_batch equivalence check",
@@ -111,11 +138,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     resilience.add_argument(
         "--deadline-ms", type=float, default=None, metavar="MS",
-        help="per-request queueing deadline; expired requests are shed",
+        help="per-request queueing deadline; expired requests are shed "
+             "(fleet: defaults to the --slo-class deadline when unset)",
     )
     resilience.add_argument(
         "--retries", type=int, default=0, metavar="N",
-        help="retry transient flush failures up to N times (default: 0)",
+        help="retry transient flush failures up to N times (default: 0; "
+             "in-process server only)",
     )
     resilience.add_argument(
         "--breaker-threshold", type=int, default=None, metavar="K",
@@ -128,7 +157,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     resilience.add_argument(
         "--chaos-flush-p", type=float, default=0.0, metavar="P",
-        help="inject transient flush failures with probability P",
+        help="inject transient flush failures with probability P "
+             "(in-process server only)",
+    )
+    resilience.add_argument(
+        "--chaos-crash-p", type=float, default=0.0, metavar="P",
+        help="crash fleet workers mid-batch with probability P "
+             "(--workers >= 1 only; the supervisor must recover)",
     )
     resilience.add_argument(
         "--chaos-spike-ms", type=float, default=0.0, metavar="MS",
@@ -146,9 +181,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_clients(server: InferenceServer, spikes: np.ndarray,
+def _submit_with_backpressure(server, index: int, spikes: np.ndarray,
+                              deadline_ms: float | None,
+                              submit_kwargs: dict, retry_s: float):
+    """Submit one trace row, retrying on backpressure and open circuits."""
+    while True:
+        try:
+            return server.submit(
+                MODEL_NAME, spikes[index], deadline_ms=deadline_ms,
+                **submit_kwargs,
+            )
+        except (QueueFullError, ModelUnavailableError):
+            time.sleep(retry_s)
+
+
+def _run_clients(server, spikes: np.ndarray,
                  predictions: np.ndarray, rate: float, clients: int,
-                 deadline_ms: float | None = None) -> None:
+                 deadline_ms: float | None = None,
+                 submit_kwargs: dict | None = None) -> None:
     """Drive the seeded trace through closed-loop client threads.
 
     Request ``i`` targets wall-clock ``start + i/rate``; each client
@@ -164,6 +214,7 @@ def _run_clients(server: InferenceServer, spikes: np.ndarray,
     """
     start = time.monotonic()
     retry_s = max(server.policy.max_wait_ms / 1e3, 1e-3)
+    submit_kwargs = submit_kwargs or {}
     errors: list[Exception] = []
 
     def client(k: int) -> None:
@@ -172,14 +223,9 @@ def _run_clients(server: InferenceServer, spikes: np.ndarray,
                 delay = start + i / rate - time.monotonic()
                 if delay > 0:
                     time.sleep(delay)
-                while True:
-                    try:
-                        future = server.submit(
-                            MODEL_NAME, spikes[i], deadline_ms=deadline_ms,
-                        )
-                        break
-                    except (QueueFullError, ModelUnavailableError):
-                        time.sleep(retry_s)
+                future = _submit_with_backpressure(
+                    server, i, spikes, deadline_ms, submit_kwargs, retry_s
+                )
                 try:
                     predictions[i] = future.result(timeout=60.0)
                 except ReproError:
@@ -199,6 +245,38 @@ def _run_clients(server: InferenceServer, spikes: np.ndarray,
         raise errors[0]
 
 
+def run_open_loop(server, spikes: np.ndarray, predictions: np.ndarray,
+                  deadline_ms: float | None = None,
+                  submit_kwargs: dict | None = None,
+                  timeout_s: float = 120.0) -> None:
+    """Drive the trace open-loop: saturate, then collect.
+
+    Every request is submitted as fast as admission control allows —
+    no pacing, no think time — so the measured completion rate is the
+    server's *saturation throughput*, not an artifact of the offered
+    load.  (Closed-loop clients cap offered load at
+    ``clients / latency``: a per-request engine that answers quickly
+    can look faster than a micro-batching server that only wins beyond
+    that load — the worker-scaling benchmark therefore measures this
+    mode.)  Backpressure (:class:`QueueFullError`) and open circuits
+    retry after a batching interval; explicit per-request failures
+    leave their trace row at ``-1``, exactly as in closed-loop mode.
+    """
+    retry_s = max(server.policy.max_wait_ms / 1e3, 1e-3)
+    submit_kwargs = submit_kwargs or {}
+    futures = [
+        _submit_with_backpressure(
+            server, i, spikes, deadline_ms, submit_kwargs, retry_s
+        )
+        for i in range(len(spikes))
+    ]
+    for i, future in enumerate(futures):
+        try:
+            predictions[i] = future.result(timeout=timeout_s)
+        except ReproError:
+            pass  # explicitly failed; row stays -1, accounted
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -207,6 +285,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("rate * duration must be >= 1 request")
     if args.clients < 1:
         parser.error("--clients must be >= 1")
+    if args.workers < 0:
+        parser.error("--workers must be >= 0")
+    if args.chaos_crash_p > 0 and args.workers < 1:
+        parser.error("--chaos-crash-p needs --workers >= 1")
 
     scope = ObservabilityScope(args)
     try:
@@ -235,18 +317,29 @@ def main(argv: list[str] | None = None) -> int:
             retry = RetryPolicy(retries=args.retries, seed=seed)
         chaos = ChaosPolicy(
             seed=args.chaos_seed,
+            worker_crash_p=args.chaos_crash_p,
             flush_error_p=args.chaos_flush_p,
             latency_spike_ms=args.chaos_spike_ms,
             latency_spike_p=args.chaos_spike_p,
         )
-        server = InferenceServer(
-            registry, policy=policy, max_queue_depth=args.queue_depth,
-            engine=args.engine, retry=retry,
-            chaos=chaos if chaos.active else None,
-            # Serving series land in the run's scoped registry so
-            # --metrics-out exports them alongside everything else.
-            metrics=ServingMetrics(registry=scope.registry),
-        )
+        # Serving series land in the run's scoped registry so
+        # --metrics-out exports them alongside everything else.
+        metrics = ServingMetrics(registry=scope.registry)
+        submit_kwargs: dict = {}
+        if args.workers >= 1:
+            server = FleetServer(
+                registry, n_workers=args.workers, policy=policy,
+                engine=args.engine, metrics=metrics,
+                chaos=chaos if chaos.active else None,
+            )
+            submit_kwargs["slo_class"] = args.slo_class
+        else:
+            server = InferenceServer(
+                registry, policy=policy, max_queue_depth=args.queue_depth,
+                engine=args.engine, retry=retry,
+                chaos=chaos if chaos.active else None,
+                metrics=metrics,
+            )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -257,9 +350,12 @@ def main(argv: list[str] | None = None) -> int:
     spikes = pool[indices]
     served = np.full(n_requests, -1, dtype=np.int64)
 
+    backend = (f"fleet of {args.workers} workers" if args.workers >= 1
+               else "in-process server")
+    mode = ("open loop" if args.open_loop
+            else f"{args.clients} closed-loop clients at {args.rate:g}/s")
     print(
-        f"serving {n_requests} requests at {args.rate:g}/s with "
-        f"{args.clients} closed-loop clients "
+        f"serving {n_requests} requests through the {backend}, {mode} "
         f"(model {point.label}, max_batch {args.max_batch}, "
         f"max_wait {args.max_wait_ms} ms"
         f"{', adaptive' if args.adaptive else ''})"
@@ -269,8 +365,14 @@ def main(argv: list[str] | None = None) -> int:
         # --metrics-out) before the offline verification below, so a
         # captured trace holds exactly the served run.
         with scope, server:
-            _run_clients(server, spikes, served, args.rate, args.clients,
-                         deadline_ms=args.deadline_ms)
+            if args.open_loop:
+                run_open_loop(server, spikes, served,
+                              deadline_ms=args.deadline_ms,
+                              submit_kwargs=submit_kwargs)
+            else:
+                _run_clients(server, spikes, served, args.rate,
+                             args.clients, deadline_ms=args.deadline_ms,
+                             submit_kwargs=submit_kwargs)
     except Exception as error:  # noqa: BLE001 - CLI boundary
         print(f"error: load generation failed: {error!r}", file=sys.stderr)
         return 1
@@ -304,6 +406,9 @@ def main(argv: list[str] | None = None) -> int:
             "requests": n_requests,
             "rate": args.rate,
             "clients": args.clients,
+            "open_loop": args.open_loop,
+            "workers": args.workers,
+            "slo_class": args.slo_class if args.workers >= 1 else None,
             "model": point.label,
             "policy": {
                 "max_batch_size": args.max_batch,
@@ -323,6 +428,8 @@ def main(argv: list[str] | None = None) -> int:
             "hardware": hardware.to_dict(),
             "environment": environment_info(),
         }
+        if args.workers >= 1:
+            report["fleet"] = server.describe()
         with open(args.json, "w") as handle:
             json.dump(report, handle, indent=2)
             handle.write("\n")

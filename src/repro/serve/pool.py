@@ -1,0 +1,264 @@
+"""Fleet worker pool: consistent routing, model payloads, worker loop.
+
+Three pieces the :class:`~repro.serve.fleet.FleetServer` is built from:
+
+* :class:`ConsistentHashRouter` — the seeded consistent-hash ring that
+  maps request ids to replicas.  Deterministic (a pure function of the
+  seed and the replica set) and *consistent*: removing one replica
+  remaps only the keys that replica owned, every other key keeps its
+  assignment — the property suite proves both.
+* :class:`ModelPayload` — a picklable snapshot of a servable network
+  (weights, thresholds, bias, hardware config).  Control-plane data:
+  it crosses the process boundary only at worker spawn and at
+  hot-swap, never per request.
+* :func:`worker_main` — the body of one ``EngineWorker`` process: loop
+  over a private work queue, read bit-packed batches out of the shared
+  :class:`~repro.serve.shm.SpikeRing`, classify through the engine
+  backend **without re-validating** (the fabric edge validated every
+  request exactly once at admission), and post predictions + per-batch
+  stats over the worker's private result pipe.
+
+Results cross the process boundary as length-prefixed pickled frames
+(:func:`send_frame` / :class:`FrameDecoder`) over a raw ``os.pipe``
+with exactly one writer — *never* a shared ``multiprocessing.Queue``.
+A shared queue serializes writers through a cross-process lock (and a
+background feeder thread), and a worker hard-killed mid-flush would
+leave that lock acquired forever, wedging every surviving replica.
+With one lock-free pipe per worker generation, a dying worker can at
+worst tear its own final frame, which the fabric's decoder discards.
+
+Message vocabulary (plain tuples, first element the kind):
+
+====================  ===========================================
+work queue            ``("batch", batch_id, model, slot, n_rows)``
+                      ``("swap", model, payload)``
+                      ``("stop",)``
+result pipe           ``("ready", worker_id, generation)``
+                      ``("ok", batch_id, worker_id, slot,
+                      predictions, stats)``
+                      ``("error", batch_id, worker_id, slot, text)``
+                      ``("swapped", worker_id, model, versions)``
+====================  ===========================================
+
+A worker that dies mid-batch posts nothing — the fabric's supervisor
+notices the dead process, fails that worker's in-flight batches
+explicitly, and respawns it with a fresh queue and a fresh pipe.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import os
+import pickle
+import struct
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ServingError
+from repro.resilience.chaos import ChaosPolicy
+from repro.serve.shm import RingGeometry, SpikeRing
+from repro.tile.network import EsamNetwork
+
+__all__ = [
+    "ConsistentHashRouter", "FrameDecoder", "ModelPayload",
+    "send_frame", "worker_main",
+]
+
+_HEADER = struct.Struct("!I")
+
+
+def send_frame(fd: int, message: object) -> None:
+    """Write one length-prefixed pickled message to a blocking fd.
+
+    ``os.write`` may accept fewer bytes than offered on a pipe, so the
+    frame is written in a loop; with a single writer per pipe there is
+    no interleaving to guard against.
+    """
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    data = memoryview(_HEADER.pack(len(payload)) + payload)
+    while data:
+        written = os.write(fd, data)
+        data = data[written:]
+
+
+class FrameDecoder:
+    """Reassemble :func:`send_frame` frames from a non-blocking fd.
+
+    ``feed`` buffers raw pipe bytes; ``frames`` yields every complete
+    message and keeps any trailing partial frame buffered.  A writer
+    killed mid-``os.write`` leaves exactly one torn tail, which simply
+    never completes — the fabric drops it with the pipe.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buffer.extend(data)
+
+    def frames(self):
+        while len(self._buffer) >= _HEADER.size:
+            (length,) = _HEADER.unpack_from(self._buffer)
+            end = _HEADER.size + length
+            if len(self._buffer) < end:
+                return
+            payload = bytes(self._buffer[_HEADER.size:end])
+            del self._buffer[:end]
+            yield pickle.loads(payload)
+
+
+class ConsistentHashRouter:
+    """Seeded consistent-hash ring: request key -> replica id.
+
+    Each replica owns ``vnodes`` points on a 64-bit ring, placed by
+    SHA-256 of ``(seed, replica, vnode)``; a key routes to the replica
+    owning the first point clockwise of the key's own hash.  Passing
+    ``live`` restricts routing to a subset without rebuilding: the walk
+    simply skips points of dead replicas, which is exactly what makes
+    the assignment consistent — a dead replica's keys redistribute, and
+    every other key stays put.
+    """
+
+    def __init__(self, replicas, seed: int = 0, vnodes: int = 64) -> None:
+        self.replicas = tuple(replicas)
+        if not self.replicas:
+            raise ConfigurationError("router needs at least one replica")
+        if len(set(self.replicas)) != len(self.replicas):
+            raise ConfigurationError(
+                f"duplicate replica ids: {self.replicas}"
+            )
+        if vnodes < 1:
+            raise ConfigurationError(f"vnodes must be >= 1, got {vnodes}")
+        self.seed = seed
+        self.vnodes = vnodes
+        ring = []
+        for replica in self.replicas:
+            for v in range(vnodes):
+                ring.append((self._point("node", replica, v), replica))
+        ring.sort()
+        self._points = [p for p, _ in ring]
+        self._owners = [r for _, r in ring]
+
+    def _point(self, *parts) -> int:
+        text = "|".join(str(part) for part in (self.seed, *parts))
+        digest = hashlib.sha256(text.encode()).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def route(self, key, live=None):
+        """The live replica owning ``key`` (raises if none is live)."""
+        live_set = set(self.replicas) if live is None else set(live)
+        if not live_set & set(self.replicas):
+            raise ServingError(
+                "no live replica to route to (all workers removed)"
+            )
+        start = bisect.bisect_right(self._points, self._point("key", key))
+        n = len(self._owners)
+        for step in range(n):
+            owner = self._owners[(start + step) % n]
+            if owner in live_set:
+                return owner
+        raise ServingError("no live replica to route to")  # unreachable
+
+
+@dataclass(frozen=True)
+class ModelPayload:
+    """Picklable snapshot of one servable network (control plane only)."""
+
+    name: str
+    weights: tuple
+    thresholds: tuple
+    output_bias: np.ndarray | None
+    config: object
+    #: Per-tile weight versions at snapshot time; echoed back in the
+    #: worker's swap ack so the fabric can prove which weights serve.
+    versions: tuple
+
+    @classmethod
+    def from_network(cls, name: str, network: EsamNetwork) -> "ModelPayload":
+        return cls(
+            name=name,
+            weights=tuple(t.weight_matrix() for t in network.tiles),
+            thresholds=tuple(
+                np.concatenate([n.thresholds for n in t.neurons])
+                for t in network.tiles
+            ),
+            output_bias=network.output_bias,
+            config=network.config,
+            versions=tuple(t.weight_version for t in network.tiles),
+        )
+
+    def build(self) -> EsamNetwork:
+        return EsamNetwork(
+            list(self.weights), list(self.thresholds),
+            output_bias=self.output_bias, config=self.config,
+        )
+
+
+def worker_main(worker_id: int, generation: int, ring_name: str,
+                geometry: tuple, payloads: list, engine: str,
+                work_queue, result_fd: int,
+                chaos: ChaosPolicy | None = None) -> None:
+    """One ``EngineWorker`` process: serve batches until told to stop.
+
+    ``generation`` counts respawns of this worker slot (0 for the
+    original spawn) and is echoed in the ready handshake so the fabric
+    can tell a respawned worker's handshake from a stale one.  The
+    chaos hook runs *before* a batch is processed, keyed on the batch's
+    own site — a deterministic schedule of which batches die mid-flight
+    (``os._exit``, the hard death a segfault would be), which the
+    acceptance suite uses to prove crash recovery never drops work
+    silently.  ``result_fd`` is the write end of this worker's private
+    result pipe; this process is its only writer.
+    """
+    ring = SpikeRing(RingGeometry(*geometry), name=ring_name, create=False)
+    backends = {}
+    widths = {}
+    for payload in payloads:
+        network = payload.build()
+        backends[payload.name] = network.engine_backend(engine)
+        widths[payload.name] = network.tiles[0].n_in
+    send_frame(result_fd, ("ready", worker_id, generation))
+    try:
+        while True:
+            message = work_queue.get()
+            kind = message[0]
+            if kind == "stop":
+                return
+            if kind == "swap":
+                _, model, payload = message
+                network = payload.build()
+                backends[model] = network.engine_backend(engine)
+                widths[model] = network.tiles[0].n_in
+                send_frame(
+                    result_fd, ("swapped", worker_id, model, payload.versions)
+                )
+                continue
+            _, batch_id, model, slot, n_rows = message
+            if chaos is not None:
+                # In a worker process this is os._exit(86): the batch
+                # dies with us and the supervisor must account for it.
+                chaos.maybe_crash_worker(f"fleet/{model}/{batch_id}", 0)
+            try:
+                rows = ring.read_rows(slot, n_rows, widths[model])
+                started = time.perf_counter()
+                # Validate-once contract: the fabric edge validated the
+                # spikes at admission, so the worker goes straight to
+                # the engine backend (no validate_spikes re-check).
+                predictions = backends[model].classify_batch(rows)
+                flush_s = time.perf_counter() - started
+            except Exception as error:  # noqa: BLE001 - reported upward
+                send_frame(result_fd, (
+                    "error", batch_id, worker_id, slot,
+                    f"{type(error).__name__}: {error}",
+                ))
+            else:
+                stats = {"rows": int(n_rows), "flush_s": float(flush_s)}
+                send_frame(result_fd, (
+                    "ok", batch_id, worker_id, slot,
+                    np.asarray(predictions, dtype=np.int64), stats,
+                ))
+    finally:
+        ring.close()

@@ -443,7 +443,10 @@ class InferenceServer:
             if self.chaos is not None:
                 self.chaos.on_flush(f"{model}/{flush_index}", attempt)
             network = self.registry.get(model)
-            return network.classify_batch(batch, engine=self.engine)
+            # Validate-once contract: every spike vector in the batch
+            # was validated at submit(), so the flush goes straight to
+            # the engine backend instead of re-checking per hop.
+            return network.engine_backend(self.engine).classify_batch(batch)
 
         def on_retry(attempt, error, delay_ms) -> None:
             self.metrics.record_retried()

@@ -1,0 +1,222 @@
+"""Shared-memory spike ring: the fleet's zero-pickle data plane.
+
+Fan-out serving moves spike batches from the fabric process into
+engine worker processes.  Pickling dense ``(B, n_in)`` uint8 arrays
+through a ``multiprocessing.Queue`` would serialize, copy and eat the
+throughput the fleet exists to win — so batches travel through a
+preallocated :class:`SpikeRing` instead: one
+``multiprocessing.shared_memory.SharedMemory`` segment divided into
+fixed-size slots, each carrying a batch as **bit-packed** uint64 spike
+planes (:func:`~repro.tile.backends.bitpacked.pack_spike_rows` — 64
+synapses per word, the same layout the bitpacked engine computes on).
+The work queue then carries only a tiny descriptor (slot index, row
+count), never the payload.
+
+Ownership discipline (what makes this safe without cross-process
+locks):
+
+* the **fabric** (parent) process owns slot allocation — only it
+  writes payloads and only it marks slots free again;
+* a **worker** only ever reads the slot named by a work item it
+  received, between receiving the item and posting its result;
+* a slot is recycled only after the worker's result (or explicit
+  failure of its batch) has been observed by the fabric.
+
+This module is pure data plane: no clocks, no policy, no threads.  The
+clock-discipline lint (``tests/test_clock_discipline.py``) enforces
+the no-clock part — determinism here is what makes fleet serving
+bit-identical to single-process serving.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.tile.backends.bitpacked import (
+    WORD_BITS,
+    pack_spike_rows,
+    packed_width,
+    unpack_spike_rows,
+)
+
+__all__ = ["RingGeometry", "SpikeRing"]
+
+
+class RingGeometry:
+    """Shape of a spike ring: how many slots, how big each one is.
+
+    Frozen-by-convention value object (plain attributes, no mutation
+    after construction) describing ``n_slots`` slots of up to
+    ``max_rows`` spike rows of ``n_bits`` inputs each.  Both ends of
+    the fabric construct the same geometry from the same numbers, so a
+    worker attaching by name sees exactly the layout the parent
+    allocated.
+    """
+
+    __slots__ = ("n_slots", "max_rows", "n_bits", "n_words")
+
+    def __init__(self, n_slots: int, max_rows: int, n_bits: int) -> None:
+        if n_slots < 1:
+            raise ConfigurationError(f"n_slots must be >= 1, got {n_slots}")
+        if max_rows < 1:
+            raise ConfigurationError(f"max_rows must be >= 1, got {max_rows}")
+        self.n_slots = n_slots
+        self.max_rows = max_rows
+        self.n_bits = n_bits
+        self.n_words = packed_width(n_bits)  # validates n_bits >= 1
+
+    @property
+    def slot_words(self) -> int:
+        """uint64 words per slot."""
+        return self.max_rows * self.n_words
+
+    @property
+    def total_bytes(self) -> int:
+        return self.n_slots * self.slot_words * (WORD_BITS // 8)
+
+    def to_tuple(self) -> tuple[int, int, int]:
+        """Picklable description (crosses the process boundary)."""
+        return (self.n_slots, self.max_rows, self.n_bits)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, RingGeometry)
+                and self.to_tuple() == other.to_tuple())
+
+    def __repr__(self) -> str:
+        return (f"RingGeometry(n_slots={self.n_slots}, "
+                f"max_rows={self.max_rows}, n_bits={self.n_bits})")
+
+
+class SpikeRing:
+    """Preallocated shared-memory slots of bit-packed spike batches.
+
+    Create once in the fabric process (``create=True``, the default),
+    then attach from each worker by name::
+
+        ring = SpikeRing(RingGeometry(8, 64, 768))        # fabric
+        ...
+        ring = SpikeRing(geometry, name=name, create=False)  # worker
+
+    The fabric packs a validated bool batch into a slot with
+    :meth:`pack_into`; the worker reads it back with :meth:`read_rows`
+    (dense bool, what the engines take) or :meth:`read_packed` (the
+    raw uint64 planes).  Packing at the fabric edge means the payload
+    crosses the process boundary at 1 bit per synapse — an 8x traffic
+    cut over uint8 before any batching win — and the pad bits of every
+    slot are zeroed, so a packed slot can feed popcount kernels
+    directly.
+    """
+
+    def __init__(self, geometry: RingGeometry, *, name: str | None = None,
+                 create: bool = True) -> None:
+        self.geometry = geometry
+        if create:
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=geometry.total_bytes
+            )
+        else:
+            if name is None:
+                raise ConfigurationError(
+                    "attaching to an existing ring requires its name"
+                )
+            self._shm = shared_memory.SharedMemory(name=name)
+            if self._shm.size < geometry.total_bytes:
+                self._shm.close()
+                raise ConfigurationError(
+                    f"shared segment {name!r} holds {self._shm.size} bytes; "
+                    f"geometry {geometry!r} needs {geometry.total_bytes}"
+                )
+        self._owner = create
+        words = np.ndarray(
+            (geometry.n_slots, geometry.max_rows, geometry.n_words),
+            dtype=np.uint64, buffer=self._shm.buf,
+        )
+        self._slots = words
+
+    @property
+    def name(self) -> str:
+        """The segment name workers attach by."""
+        return self._shm.name
+
+    # -- fabric side (writer) --------------------------------------------------------
+
+    def pack_into(self, slot: int, rows: np.ndarray) -> int:
+        """Pack validated bool rows into ``slot``; returns the row count.
+
+        ``rows`` must already be the fabric-edge-validated ``(B, n_in)``
+        bool batch (the fabric validates exactly once, at admission).
+        Batches narrower than the ring width are fine — a ring is sized
+        for the widest registered model and narrower models use the
+        leading words of each slot.  Raises
+        :class:`ConfigurationError` when the batch does not fit.
+        """
+        self._check_slot(slot)
+        rows = np.atleast_2d(rows)
+        n_rows, n_bits = rows.shape
+        if n_bits > self.geometry.n_bits:
+            raise ConfigurationError(
+                f"batch width {n_bits} exceeds ring width "
+                f"{self.geometry.n_bits}"
+            )
+        if n_rows > self.geometry.max_rows:
+            raise ConfigurationError(
+                f"batch of {n_rows} rows exceeds slot capacity "
+                f"{self.geometry.max_rows}"
+            )
+        n_words = packed_width(n_bits)
+        pack_spike_rows(rows, out=self._slots[slot, :n_rows, :n_words])
+        return n_rows
+
+    # -- worker side (reader) --------------------------------------------------------
+
+    def read_packed(self, slot: int, n_rows: int,
+                    n_bits: int | None = None) -> np.ndarray:
+        """Copy the packed ``(n_rows, n_words)`` planes out of ``slot``.
+
+        Returns a private copy: the fabric may recycle the slot the
+        moment this batch's result is posted, so workers never hold
+        views into the ring past the read.
+        """
+        self._check_slot(slot)
+        if not 0 <= n_rows <= self.geometry.max_rows:
+            raise ConfigurationError(
+                f"n_rows {n_rows} outside [0, {self.geometry.max_rows}]"
+            )
+        n_bits = self.geometry.n_bits if n_bits is None else n_bits
+        if n_bits > self.geometry.n_bits:
+            raise ConfigurationError(
+                f"n_bits {n_bits} exceeds ring width {self.geometry.n_bits}"
+            )
+        return self._slots[slot, :n_rows, :packed_width(n_bits)].copy()
+
+    def read_rows(self, slot: int, n_rows: int,
+                  n_bits: int | None = None) -> np.ndarray:
+        """The slot's batch as dense bool ``(n_rows, n_bits)`` rows."""
+        n_bits = self.geometry.n_bits if n_bits is None else n_bits
+        return unpack_spike_rows(
+            self.read_packed(slot, n_rows, n_bits), n_bits
+        )
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach this process's mapping (workers call this on exit)."""
+        self._slots = None
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Free the segment itself (creator-only, after close)."""
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # already unlinked
+                pass
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.geometry.n_slots:
+            raise ConfigurationError(
+                f"slot {slot} outside [0, {self.geometry.n_slots})"
+            )

@@ -23,7 +23,12 @@ import repro.reliability.runner as reliability_runner
 from repro.errors import QueueFullError, ReproError, WorkerCrashError
 from repro.reliability import FaultCampaignSpec, ReliabilityRunner
 from repro.resilience import ChaosPolicy, RetryPolicy, SupervisorPolicy
-from repro.serve import BatchPolicy, InferenceServer, ModelRegistry
+from repro.serve import (
+    BatchPolicy,
+    FleetServer,
+    InferenceServer,
+    ModelRegistry,
+)
 from repro.sram.bitcell import CellType
 from repro.sweep import ResultCache, SweepRunner
 from repro.sweep.spec import SweepSpec
@@ -319,3 +324,106 @@ class TestServingChaosAccounting:
         answered = served >= 0
         assert answered.any()
         assert np.array_equal(served[answered], offline[answered])
+
+
+# -- fleet under chaos ----------------------------------------------------------------
+
+
+@pytest.mark.multiprocess
+class TestFleetChaosAcceptance:
+    """The fleet's claims, driven through real worker processes.
+
+    Same acceptance bar as the in-process serving suite — bit-identical
+    predictions, every request accounted — but across process
+    boundaries, worker counts, and real ``os._exit`` crashes with
+    supervised respawn.
+    """
+
+    def test_predictions_bit_identical_across_worker_counts(self):
+        network = random_network(seed=4)
+        spikes = random_spikes(96, seed=21)
+        expected = network.classify_batch(spikes)
+        for n_workers in (1, 2, 4):
+            registry = ModelRegistry()
+            registry.register_network("m", random_network(seed=4))
+            server = FleetServer(
+                registry, n_workers=n_workers,
+                policy=BatchPolicy(max_batch_size=16, max_wait_ms=1.0),
+            )
+            with server:
+                futures = [
+                    server.submit("m", row, slo_class="batch")
+                    for row in spikes
+                ]
+                served = np.array(
+                    [f.result(timeout=60.0) for f in futures]
+                )
+            assert np.array_equal(served, expected), (
+                f"{n_workers}-worker serving diverged from offline"
+            )
+            data = server.metrics.to_dict()
+            assert data["submitted"] == len(spikes)
+            assert data["submitted"] == \
+                data["completed"] + data["failed"] + data["shed"]
+
+    def test_mid_run_crash_and_respawn_stays_bit_identical(self):
+        # A chaos schedule that genuinely kills workers mid-batch
+        # (os._exit in the child): crashed batches fail explicitly,
+        # every answered request is bit-identical to offline, and the
+        # accounting invariant survives the respawns.
+        chaos = ChaosPolicy(seed=11, worker_crash_p=0.15)
+        registry = ModelRegistry()
+        network = random_network(seed=5)
+        registry.register_network("m", network)
+        spikes = random_spikes(160, seed=23)
+        offline = network.classify_batch(spikes)
+        server = FleetServer(
+            registry, n_workers=2, chaos=chaos,
+            supervisor=SupervisorPolicy(retry_budget=64),
+            policy=BatchPolicy(max_batch_size=8, max_wait_ms=1.0),
+        )
+        served = np.full(len(spikes), -1, dtype=np.int64)
+        with server:
+            futures = [
+                server.submit("m", row, slo_class="batch")
+                for row in spikes
+            ]
+            for i, future in enumerate(futures):
+                try:
+                    served[i] = future.result(timeout=60.0)
+                except ReproError:
+                    pass
+        data = server.metrics.to_dict()
+        # The schedule must have actually crashed workers...
+        assert data["failed"] > 0
+        respawns = sum(
+            w["respawns"] for w in server.describe()["workers"]
+        )
+        assert respawns > 0
+        # ...while nothing vanished and nothing was corrupted.
+        assert data["submitted"] == len(spikes)
+        assert data["submitted"] == \
+            data["completed"] + data["failed"] + data["shed"]
+        answered = served >= 0
+        assert answered.any()
+        assert np.array_equal(served[answered], offline[answered])
+        # Crash-free rows on a respawned fleet: re-serving the failed
+        # rows afterwards (fresh fleet, no chaos) completes them all,
+        # bit-identically — nothing about a crash is sticky.
+        failed_rows = ~answered
+        if failed_rows.any():
+            registry2 = ModelRegistry()
+            registry2.register_network("m", random_network(seed=5))
+            retry_server = FleetServer(
+                registry2, n_workers=2,
+                policy=BatchPolicy(max_batch_size=8, max_wait_ms=1.0),
+            )
+            with retry_server:
+                futures = [
+                    retry_server.submit("m", row, slo_class="batch")
+                    for row in spikes[failed_rows]
+                ]
+                reserved = np.array(
+                    [f.result(timeout=60.0) for f in futures]
+                )
+            assert np.array_equal(reserved, offline[failed_rows])

@@ -163,14 +163,19 @@ class TestCircuitBreaking:
         spikes = random_spikes(8)
 
         boom = True
-        real = network.classify_batch
+        real = network.engine_backend("fast")
 
-        def flaky(batch, engine="fast"):
-            if boom:
-                raise InjectedFaultError("injected")
-            return real(batch, engine=engine)
+        class FlakyBackend:
+            def classify_batch(self, batch):
+                if boom:
+                    raise InjectedFaultError("injected")
+                return real.classify_batch(batch)
 
-        monkeypatch.setattr(network, "classify_batch", flaky)
+        # The server flushes through engine_backend() (validation already
+        # happened at submit), so faults are injected at the backend seam.
+        monkeypatch.setattr(
+            network, "engine_backend", lambda engine="fast", **kw: FlakyBackend()
+        )
         with server:
             # Two failed flushes open the circuit.
             for i in range(2):
