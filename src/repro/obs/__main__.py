@@ -5,11 +5,14 @@ Subcommands::
     python -m repro.obs report --out report.html
     python -m repro.obs report --out report.html \\
         --trace serve.trace.jsonl --bench-dir .
+    python -m repro.obs report --out report.html \\
+        --store .artifacts/sweep_cache/store.sqlite
 
 ``report`` folds every ``BENCH_*.json`` in the bench directory (the
-repo root by default) plus an optional captured trace (either export
-format — JSONL or Chrome ``trace_event``) into one self-contained HTML
-dashboard; see :mod:`repro.obs.report`.
+repo root by default), an optional captured trace (either export
+format — JSONL or Chrome ``trace_event``) and an optional campaign
+result store (``--store``, the SQLite index beside the sweep cache)
+into one self-contained HTML dashboard; see :mod:`repro.obs.report`.
 """
 
 from __future__ import annotations
@@ -45,6 +48,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="optional trace file (--trace-out output, JSONL or Chrome "
              "JSON) to include",
     )
+    report.add_argument(
+        "--store", metavar="PATH", default=None,
+        help="optional campaign result store (store.sqlite beside the "
+             "sweep cache) whose history to include",
+    )
     return parser
 
 
@@ -53,6 +61,7 @@ def main(argv: list[str] | None = None) -> int:
     try:
         path = write_report(
             args.out, bench_dir=args.bench_dir, trace_path=args.trace,
+            store_path=args.store,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -9,6 +9,8 @@ reproduction is reviewable from one file::
 
     python -m repro.obs report --out report.html
     python -m repro.obs report --out report.html --trace serve.trace.jsonl
+    python -m repro.obs report --out report.html \\
+        --store .artifacts/sweep_cache/store.sqlite
 
 The renderer is deliberately dumb about schemas: scalar fields become
 key/value rows, numeric leaves become bars, nested objects become
@@ -19,6 +21,7 @@ choices without a CLI edit.
 
 from __future__ import annotations
 
+import datetime
 import html
 import json
 import pathlib
@@ -233,8 +236,53 @@ def _trace_section(trace_path, spans) -> str:
     )
 
 
+def _when(epoch_s: float) -> str:
+    stamp = datetime.datetime.fromtimestamp(epoch_s)
+    return stamp.strftime("%Y-%m-%d %H:%M:%S")
+
+
+def _store_section(store_path, summary: dict) -> str:
+    """Campaign history out of the result store's roll-up."""
+    kind_rows = "".join(
+        f'<tr><td>{html.escape(kind)}</td>'
+        f'<td class="num">{bucket["entries"]}</td>'
+        f'<td>{html.escape(", ".join(bucket["cells"]) or "—")}</td>'
+        f'<td>{html.escape(", ".join(bucket["nodes"]) or "—")}</td>'
+        f'<td>{html.escape(", ".join(bucket["corners"]) or "—")}</td>'
+        f'<td>{html.escape(_when(bucket["newest_s"]))}</td></tr>'
+        for kind, bucket in summary["kinds"].items()
+    )
+    bars = _bar_chart(
+        [(kind, float(bucket["entries"]))
+         for kind, bucket in summary["kinds"].items()],
+        unit=" entries",
+    )
+    recent_rows = "".join(
+        f'<tr><td>{html.escape(entry["kind"])}</td>'
+        f'<td>{html.escape(entry["label"])}</td>'
+        f'<td class="num">{entry["scalars"]}</td>'
+        f'<td>{html.escape(_when(entry["created_s"]))}</td></tr>'
+        for entry in summary["recent"]
+    )
+    name = html.escape(pathlib.Path(store_path).name)
+    if not summary["total"]:
+        return (f"<h2>Campaign history — {name}</h2>"
+                "<p>The result store is empty — run a cached sweep or "
+                "reliability campaign first.</p>")
+    return (
+        f"<h2>Campaign history — {name}</h2>"
+        f'<p class="env">{summary["total"]} indexed campaign points</p>'
+        "<table><tr><th>kind</th><th>entries</th><th>cells</th>"
+        f"<th>nodes</th><th>corners</th><th>newest</th></tr>{kind_rows}"
+        "</table>" + bars
+        + "<table><tr><th>kind</th><th>point</th><th>scalars</th>"
+        f"<th>indexed</th></tr>{recent_rows}</table>"
+    )
+
+
 def render_report(benches: dict[str, dict], *, trace_path=None,
-                  spans=None) -> str:
+                  spans=None, store_path=None,
+                  store_summary=None) -> str:
     """The full dashboard page as one HTML string."""
     env = environment_info()
     stamp = ", ".join(f"{k}={v}" for k, v in env.items() if v is not None)
@@ -250,6 +298,8 @@ def render_report(benches: dict[str, dict], *, trace_path=None,
         body.append(_bench_section(name, payload))
     if spans is not None:
         body.append(_trace_section(trace_path or "trace", spans))
+    if store_summary is not None:
+        body.append(_store_section(store_path or "store", store_summary))
     return (
         "<!DOCTYPE html>\n<html lang=\"en\"><head>"
         "<meta charset=\"utf-8\"><title>repro dashboard</title>"
@@ -259,7 +309,7 @@ def render_report(benches: dict[str, dict], *, trace_path=None,
 
 
 def write_report(out_path, *, bench_dir=None, trace_path=None,
-                 ) -> pathlib.Path:
+                 store_path=None) -> pathlib.Path:
     """Collect artifacts, render, write; returns the output path."""
     bench_dir = pathlib.Path(
         bench_dir if bench_dir is not None else default_bench_dir()
@@ -273,9 +323,19 @@ def write_report(out_path, *, bench_dir=None, trace_path=None,
                 f"trace file {trace_path} does not exist"
             )
         spans = load_trace(trace_path)
+    store_summary = None
+    if store_path is not None:
+        if not pathlib.Path(store_path).is_file():
+            raise ConfigurationError(
+                f"store file {store_path} does not exist"
+            )
+        from repro.store import ResultStore
+        with ResultStore(store_path) as store:
+            store_summary = store.summary()
     benches = collect_bench_files(bench_dir)
     out_path = pathlib.Path(out_path)
     out_path.write_text(
-        render_report(benches, trace_path=trace_path, spans=spans)
+        render_report(benches, trace_path=trace_path, spans=spans,
+                      store_path=store_path, store_summary=store_summary)
     )
     return out_path

@@ -7,6 +7,8 @@ Examples::
     python -m repro.reliability --trials 8 --workers 4 --claims
     python -m repro.reliability --corner slow --bers 0,1e-3,5e-2
     python -m repro.reliability cells --out faults.json --csv faults.csv
+    python -m repro.reliability --executor job-dir --job-dir /shared/j1
+    python -m repro.reliability --query "ber=0.05,corner=slow"
 
 Hardware scalars come from the same shared config surface as the
 sweep and serving CLIs (``--config`` / ``--cell`` / ``--vprech`` /
@@ -20,6 +22,12 @@ Campaigns are interruptible: every finished fault point is committed
 to the cache (and journaled) as it completes, so Ctrl-C flushes
 partial results, prints a resume hint and exits 130.  ``--resume``
 reports the journal state, then evaluates only the unfinished points.
+
+Cached results are also indexed into the SQLite result store beside
+the cache (``--no-store`` opts out): ``--query "ber=0.05"`` answers
+from past campaigns with zero re-evaluation, and ``--executor job-dir
+--job-dir DIR`` shards misses across work-stealing claimant processes
+instead of the local pool (see :mod:`repro.store`).
 """
 
 from __future__ import annotations
@@ -41,6 +49,12 @@ from repro.learning.pretrained import QUALITY_PRESETS
 from repro.reliability.spec import NAMED_CAMPAIGNS
 from repro.reliability.runner import ReliabilityRunner
 from repro.resilience.cli import print_interrupted, report_resume
+from repro.store.cli import (
+    add_campaign_arguments,
+    executor_from_args,
+    open_store,
+    run_query,
+)
 from repro.sweep.cache import DEFAULT_CACHE_DIR, ResultCache
 
 
@@ -114,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--claims", action="store_true",
         help="also print the degradation claims derived from the curves",
     )
+    add_campaign_arguments(parser)
     add_hardware_arguments(parser)
     add_engine_argument(parser, help_suffix="applies to every trial")
     add_observability_arguments(parser)
@@ -130,6 +145,17 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name:12s} {len(spec):3d} points x {spec.trials} trials  "
                   f"({NAMED_CAMPAIGNS[name].__doc__.splitlines()[0]})")
         return 0
+    if args.query is not None:
+        if args.no_cache:
+            parser.error("--query answers from the cache's result store; "
+                         "drop --no-cache")
+        cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+        try:
+            return run_query(cache, "reliability", args.query,
+                             csv_path=args.csv)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
 
     try:
         hardware = hardware_from_args(args, seed=args.seed)
@@ -169,18 +195,27 @@ def main(argv: list[str] | None = None) -> int:
         cache: ResultCache | None = None
     else:
         cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+        if not args.no_store:
+            cache.store = open_store(cache)
 
     try:
-        runner = ReliabilityRunner(spec, n_workers=args.workers, cache=cache)
+        runner = ReliabilityRunner(
+            spec, n_workers=args.workers, cache=cache,
+            executor=executor_from_args(args),
+        )
         if args.resume:
             report_resume(runner, "campaign")
         with ObservabilityScope(args):
             result = runner.run()
     except KeyboardInterrupt:
-        return print_interrupted("python -m repro.reliability", argv)
+        return print_interrupted("python -m repro.reliability", argv,
+                                 cached=cache is not None)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        if cache is not None and cache.store is not None:
+            cache.store.close()
 
     print(result.render())
     if args.claims:

@@ -4,10 +4,10 @@ The :class:`ReliabilityRunner` reuses the sweep engine's machinery
 wholesale: the same on-disk :class:`~repro.sweep.cache.ResultCache`
 (namespaced by the ``"reliability"`` entry kind), the same
 satisfy-from-cache-then-shard-misses loop
-(:func:`repro.sweep.runner.run_cached_points`) and the same
-process-pool sharding (:func:`repro.sweep.runner.shard_map`) — so
-campaigns inherit the sweep determinism contract: bit-identical
-results for any ``n_workers``, corrupt cache entry == miss, warm
+(:func:`repro.sweep.runner.run_cached_points`) and the same pluggable
+executors (:mod:`repro.store.executors`) — so campaigns inherit the
+sweep determinism contract: bit-identical results for any
+``n_workers`` or executor backend, corrupt cache entry == miss, warm
 re-runs finish without touching the simulator.
 
 One fault point evaluates all of its Monte-Carlo trials against a
@@ -37,8 +37,9 @@ from repro.resilience.journal import CampaignJournal, run_id_for
 from repro.resilience.policy import SupervisorPolicy
 from repro.snn.encode import encode_images
 from repro.sram.faults import FaultInjector
+from repro.store.executors import LocalPoolExecutor
 from repro.sweep.cache import ResultCache, entry_key, weights_fingerprint
-from repro.sweep.runner import run_cached_points, shard_map
+from repro.sweep.runner import run_cached_points
 from repro.tile.network import EsamNetwork
 
 #: Per-process memo of encoded evaluation samples, keyed by
@@ -128,6 +129,11 @@ class ReliabilityRunner:
         ``True`` (default) journals progress next to the cache so
         interrupted campaigns resume with zero recomputation;
         ignored without a cache.
+    executor:
+        Optional executor backend (see :mod:`repro.store.executors`)
+        that evaluates the cache misses instead of the default local
+        pool built from ``n_workers``; results are bit-identical
+        across backends.
     """
 
     def __init__(self, spec: FaultCampaignSpec, *, n_workers: int = 1,
@@ -135,7 +141,8 @@ class ReliabilityRunner:
                  mc_samples: int = TIMING_YIELD_SAMPLES,
                  supervisor: SupervisorPolicy | None = None,
                  chaos: ChaosPolicy | None = None,
-                 journal: bool = True) -> None:
+                 journal: bool = True,
+                 executor=None) -> None:
         if n_workers < 1:
             raise ConfigurationError(
                 f"n_workers must be >= 1, got {n_workers}"
@@ -153,6 +160,7 @@ class ReliabilityRunner:
         self.mc_samples = mc_samples
         self.supervisor = supervisor
         self.chaos = chaos
+        self.executor = executor
         self._journal_enabled = bool(journal)
 
     @property
@@ -162,9 +170,12 @@ class ReliabilityRunner:
             return None
         return self.cache.root / "journal"
 
-    def _key_fn(self):
+    def _fingerprint(self) -> str:
         reference = get_reference_model(self.spec.quality, self.spec.seed)
-        fingerprint = weights_fingerprint(reference.snn)
+        return weights_fingerprint(reference.snn)
+
+    def _key_fn(self):
+        fingerprint = self._fingerprint()
         return lambda point: entry_key(
             "reliability", point.to_dict(), fingerprint
         )
@@ -183,7 +194,8 @@ class ReliabilityRunner:
                          on_done=None) -> list[ReliabilityRow]:
         if not points:
             return []
-        if self.n_workers > 1 and len(points) > 1:
+        executor = self.executor or LocalPoolExecutor(self.n_workers)
+        if executor.uses_processes and len(points) > 1:
             # Pre-warm the trained-model disk cache in the parent so
             # spawned workers load instead of re-training.
             for model_key in {(p.quality, p.seed) for p in points}:
@@ -200,8 +212,8 @@ class ReliabilityRunner:
             if on_done is not None:
                 on_done(position, row)
 
-        outcomes = shard_map(
-            _evaluate_task, points, self.n_workers,
+        outcomes = executor.map(
+            _evaluate_task, points,
             supervisor=self.supervisor, chaos=self.chaos,
             on_done=outcome_done,
         )
@@ -218,13 +230,27 @@ class ReliabilityRunner:
     def run(self) -> CampaignResult:
         """Evaluate the campaign; rows follow the spec's expansion order."""
         points = self.spec.expand()
-        key_fn = self._key_fn() if self.cache is not None else None
+        if self.cache is not None:
+            fingerprint = self._fingerprint()
+            key_fn = lambda point: entry_key(  # noqa: E731
+                "reliability", point.to_dict(), fingerprint
+            )
+            # kind + fingerprint travel inside the stored JSON so the
+            # result store can index an entry without recomputing
+            # hashes; from_dict ignores the extra keys on reload.
+            dump_row = lambda row: {  # noqa: E731
+                **row.to_dict(), "kind": "reliability",
+                "fingerprint": fingerprint,
+            }
+        else:
+            key_fn = None
+            dump_row = lambda row: row.to_dict()  # noqa: E731
         rows, stats = run_cached_points(
             points,
             cache=self.cache,
             key_fn=key_fn,
             load_row=lambda data: ReliabilityRow.from_dict(data, cached=True),
-            dump_row=lambda row: row.to_dict(),
+            dump_row=dump_row,
             evaluate=self._evaluate_misses,
             journal_dir=self.journal_dir,
             kind="reliability",

@@ -51,9 +51,22 @@ def report_resume(runner, label: str) -> None:
               f"done, {len(state.remaining)} to evaluate")
 
 
-def print_interrupted(prog: str, argv: list[str] | None) -> int:
-    """Report an interrupt + resume hint; returns :data:`SIGINT_EXIT`."""
-    print("\ninterrupted: partial results are committed to the cache",
-          file=sys.stderr)
-    print(f"resume with:\n  {resume_hint(prog, argv)}", file=sys.stderr)
+def print_interrupted(prog: str, argv: list[str] | None, *,
+                      cached: bool = True) -> int:
+    """Report an interrupt; returns :data:`SIGINT_EXIT`.
+
+    With ``cached=True`` (a run backed by the result cache) the
+    message names where the partial results live and prints the exact
+    resume command.  A ``--no-cache`` run must pass ``cached=False``:
+    nothing was persisted, so claiming otherwise — or suggesting a
+    ``--resume`` command both CLIs reject without a cache — would lie.
+    """
+    if cached:
+        print("\ninterrupted: partial results are committed to the cache",
+              file=sys.stderr)
+        print(f"resume with:\n  {resume_hint(prog, argv)}", file=sys.stderr)
+    else:
+        print("\ninterrupted: --no-cache run — partial results were NOT "
+              "persisted; re-run with the cache to make campaigns "
+              "resumable", file=sys.stderr)
     return SIGINT_EXIT

@@ -1,0 +1,109 @@
+"""Shared CLI glue for the result store and executors.
+
+Both campaign CLIs (``python -m repro.sweep`` and ``python -m
+repro.reliability``) and the store's own CLI open the store the same
+way (beside the cache, backfilling pre-store entries) and answer
+``--query`` with the same rendering — the helpers here keep their
+behaviour identical, the way :mod:`repro.hw.cli` does for hardware
+flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+
+from repro.store.executors import EXECUTOR_NAMES, make_executor
+from repro.store.index import (
+    STORE_FILENAME,
+    ResultStore,
+    parse_filter,
+    render_records,
+)
+
+
+def store_path_for(cache_root) -> pathlib.Path:
+    """Where a cache directory's store index lives."""
+    return pathlib.Path(cache_root) / STORE_FILENAME
+
+
+def open_store(cache, *, backfill: bool = False) -> ResultStore:
+    """The store beside ``cache``; a brand-new index is always
+    backfilled so pre-store cache dirs become queryable immediately.
+    ``backfill=True`` also rescans an existing index (idempotent — only
+    unseen entries are added, e.g. ones written under ``--no-store``).
+    """
+    path = store_path_for(cache.root)
+    fresh = not path.exists()
+    store = ResultStore(path)
+    if fresh or backfill:
+        store.backfill(cache.root)
+    return store
+
+
+def run_query(cache, kind: str, filter_text: str, *,
+              csv_path=None) -> int:
+    """Answer a campaign CLI's ``--query`` from the store; returns 0.
+
+    Nothing is evaluated: the store is opened (and backfilled, so even
+    a cache written before the store existed answers), filtered to
+    ``kind`` plus the user's ``axis=value`` terms, and rendered.  With
+    ``csv_path`` the matching rows are also exported flat.
+    """
+    where = parse_filter(filter_text)
+    where.setdefault("kind", kind)
+    with open_store(cache, backfill=True) as store:
+        records = store.filter(**where)
+        print(render_records(records))
+        if csv_path:
+            print(f"wrote {store.to_csv(csv_path, **where)}")
+    return 0
+
+
+def add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--executor``/``--job-dir``/``--no-store``/
+    ``--query`` flags to a campaign CLI."""
+    group = parser.add_argument_group(
+        "execution & result store",
+        "pluggable executors and the queryable SQLite index "
+        "(see repro.store)",
+    )
+    group.add_argument(
+        "--executor", choices=EXECUTOR_NAMES, default="local-pool",
+        help="how cache misses are evaluated: local-pool shards across "
+             "--workers processes (default); job-dir spawns --workers "
+             "claimant processes stealing work from --job-dir (external "
+             "claimants join via `python -m repro.store work`)",
+    )
+    group.add_argument(
+        "--job-dir", metavar="DIR", default=None,
+        help="work-stealing directory for --executor job-dir (a fresh "
+             "directory on a filesystem every claimant can reach)",
+    )
+    group.add_argument(
+        "--no-store", action="store_true",
+        help="do not index results into the store (the SQLite index "
+             "beside the cache; the cache itself is unaffected)",
+    )
+    group.add_argument(
+        "--query", metavar="FILTER", nargs="?", const="", default=None,
+        help="answer from the store instead of running: print past rows "
+             "of this CLI's kind matching comma-separated axis=value "
+             "terms (e.g. \"cell=6T,node=3nm\"; empty = all), with zero "
+             "re-evaluation; combine with --csv to export",
+    )
+
+
+def executor_from_args(args: argparse.Namespace):
+    """The executor a campaign CLI asked for, or ``None`` for the
+    default local pool (the runner then keeps its historical
+    ``n_workers`` path untouched)."""
+    if getattr(args, "executor", "local-pool") == "local-pool":
+        # Validate the flag combination, then let the runner build its
+        # own local pool from n_workers (zero behaviour change).
+        make_executor("local-pool", n_workers=args.workers,
+                      job_dir=getattr(args, "job_dir", None))
+        return None
+    return make_executor(
+        args.executor, n_workers=args.workers, job_dir=args.job_dir,
+    )

@@ -1,0 +1,514 @@
+"""SQLite index over the content-addressed result cache.
+
+The :class:`~repro.sweep.cache.ResultCache` is the durable truth — one
+JSON file per evaluated point, keyed by a config+weights hash.  That
+layout is perfect for exact-match satisfaction and atomic concurrent
+writes, and useless for questions: "every 3nm sweep row", "mean
+accuracy per cell at BER 1e-3", "what did last week's campaign
+measure" all require re-expanding a grid and re-hashing every point.
+
+:class:`ResultStore` fixes that with one SQLite table beside the cache
+(``<cache root>/store.sqlite``): one row per cache entry carrying the
+entry kind, the cache key, the flattened point axes (cell / node /
+corner / Vprech / BER / engine / ...), the weights fingerprint,
+an ingest timestamp and every numeric result leaf flattened to dotted
+scalars (``metrics.latency_ns``, ``accuracies.mean``).  Rows arrive
+two ways:
+
+* **incrementally** — a cache constructed with ``store=`` ingests every
+  ``put`` the moment the JSON lands (the campaign runners wire this up
+  through the CLIs);
+* **by backfill** — :meth:`ResultStore.backfill` scans a pre-existing
+  cache directory and indexes every entry it has not seen, so caches
+  that predate the store (or were written with ``--no-store``) become
+  queryable without re-evaluating anything.  Backfill is idempotent:
+  already-indexed keys are skipped, so running it twice adds zero rows.
+
+The query API is deliberately small: :meth:`filter` returns
+:class:`StoreRecord` rows, :meth:`aggregate` folds one scalar over
+grouping axes, :meth:`to_csv` exports flat rows.  The store is an
+*index*, never an authority — deleting ``store.sqlite`` loses nothing
+that a backfill cannot rebuild.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import csv
+import json
+import pathlib
+import sqlite3
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Bump when the table layout changes; a mismatched store file is
+#: rebuilt from the cache (it is only an index).
+STORE_SCHEMA_VERSION = 1
+
+#: Default store filename, created beside the cache's fan-out dirs.
+STORE_FILENAME = "store.sqlite"
+
+#: Queryable axis columns, in table order.  ``kind`` discriminates the
+#: entry family; the rest are flattened point axes (NULL when a family
+#: lacks the axis, e.g. ``bit_error_rate`` on sweep rows).
+AXIS_COLUMNS = (
+    "kind", "cell_type", "vprech", "node", "corner", "engine",
+    "quality", "seed", "sample_images", "bit_error_rate", "trials",
+    "trial_start", "fingerprint",
+)
+
+_FLOAT_AXES = frozenset({"vprech", "bit_error_rate"})
+_INT_AXES = frozenset({"seed", "sample_images", "trials", "trial_start"})
+
+#: Friendly aliases accepted by filters and ``--query`` expressions.
+AXIS_ALIASES = {
+    "cell": "cell_type",
+    "ber": "bit_error_rate",
+    "key": "cache_key",
+}
+
+_CREATE_TABLE = f"""
+CREATE TABLE IF NOT EXISTS entries (
+    cache_key TEXT PRIMARY KEY,
+    kind TEXT NOT NULL,
+    cell_type TEXT,
+    vprech REAL,
+    node TEXT,
+    corner TEXT,
+    engine TEXT,
+    quality TEXT,
+    seed INTEGER,
+    sample_images INTEGER,
+    bit_error_rate REAL,
+    trials INTEGER,
+    trial_start INTEGER,
+    fingerprint TEXT,
+    created_s REAL NOT NULL,
+    point_json TEXT NOT NULL,
+    scalars_json TEXT NOT NULL
+)
+"""
+
+
+def flatten_scalars(payload: dict) -> dict[str, float]:
+    """Numeric leaves of a stored row, flattened to dotted keys.
+
+    Schema-agnostic on purpose: the store indexes whatever numeric
+    results a row family carries, so a new campaign kind is queryable
+    without a store edit.  Dicts nest with ``.``; a list of numbers
+    contributes derived ``.mean`` / ``.min`` / ``.max`` scalars (how
+    per-trial accuracies become aggregable); booleans and bookkeeping
+    keys (``point``, ``kind``, ``fingerprint``, ``cached``) are
+    skipped.
+    """
+    out: dict[str, float] = {}
+
+    def visit(name: str, value) -> None:
+        if isinstance(value, bool):
+            return
+        if isinstance(value, (int, float)):
+            out[name] = float(value)
+        elif isinstance(value, dict):
+            for key, nested in value.items():
+                visit(f"{name}.{key}", nested)
+        elif isinstance(value, (list, tuple)) and value:
+            numbers = [
+                v for v in value
+                if isinstance(v, (int, float)) and not isinstance(v, bool)
+            ]
+            if len(numbers) == len(value):
+                out[f"{name}.mean"] = float(sum(numbers) / len(numbers))
+                out[f"{name}.min"] = float(min(numbers))
+                out[f"{name}.max"] = float(max(numbers))
+
+    for key, value in payload.items():
+        if key in ("point", "kind", "fingerprint", "cached"):
+            continue
+        visit(key, value)
+    return out
+
+
+def _infer_kind(payload: dict) -> str:
+    """Entry kind of a pre-store cache row (shape-based fallback)."""
+    kind = payload.get("kind")
+    if isinstance(kind, str):
+        return kind
+    if "metrics" in payload:
+        return "sweep"
+    if "accuracies" in payload:
+        return "reliability"
+    return "unknown"
+
+
+def parse_filter(text: str) -> dict:
+    """``"cell=6T,node=3nm"`` → keyword filters for :meth:`filter`.
+
+    An empty string means "no constraints".  Axis aliases (``cell``,
+    ``ber``) are accepted; values are coerced to the column's type.
+    """
+    filters: dict = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ConfigurationError(
+                f"bad filter term {part!r}; expected axis=value"
+            )
+        name, value = part.split("=", 1)
+        name = AXIS_ALIASES.get(name.strip(), name.strip())
+        value = value.strip()
+        if name in _FLOAT_AXES:
+            filters[name] = float(value)
+        elif name in _INT_AXES:
+            filters[name] = int(value)
+        else:
+            filters[name] = value
+    return filters
+
+
+@dataclass(frozen=True)
+class StoreRecord:
+    """One indexed cache entry: axes, scalars and provenance."""
+
+    cache_key: str
+    kind: str
+    fingerprint: str | None
+    created_s: float
+    point: dict = field(default_factory=dict)
+    scalars: dict = field(default_factory=dict)
+
+    def axis(self, name: str):
+        """One point axis by (possibly aliased) name, or ``None``."""
+        return self.point.get(AXIS_ALIASES.get(name, name))
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable axis summary."""
+        parts = [str(self.axis("cell") or "?")]
+        for name in ("node", "corner", "engine"):
+            value = self.axis(name)
+            if value is not None:
+                parts.append(str(value))
+        vprech = self.axis("vprech")
+        if vprech is not None:
+            parts.append(f"{vprech:g}V")
+        ber = self.axis("ber")
+        if ber is not None:
+            parts.append(f"BER={ber:g}")
+        return "/".join(parts)
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Fold of one scalar over one group of rows."""
+
+    n: int
+    mean: float
+    min: float
+    max: float
+
+
+class ResultStore:
+    """The queryable SQLite index; see the module docstring."""
+
+    def __init__(self, path, *, clock=time.time) -> None:
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._clock = clock
+        self._conn = sqlite3.connect(str(self.path))
+        version = self._conn.execute("PRAGMA user_version").fetchone()[0]
+        if version not in (0, STORE_SCHEMA_VERSION):
+            # The store is only an index — rebuild rather than migrate.
+            self._conn.execute("DROP TABLE IF EXISTS entries")
+            version = 0
+        self._conn.execute(_CREATE_TABLE)
+        if version == 0:
+            self._conn.execute(
+                f"PRAGMA user_version = {STORE_SCHEMA_VERSION}"
+            )
+        self._conn.execute(
+            "CREATE INDEX IF NOT EXISTS idx_entries_axes "
+            "ON entries (kind, cell_type, node, corner)"
+        )
+        self._conn.commit()
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def close(self) -> None:
+        with contextlib.suppress(sqlite3.Error):
+            self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return self._conn.execute(
+            "SELECT COUNT(*) FROM entries"
+        ).fetchone()[0]
+
+    def __contains__(self, key: str) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM entries WHERE cache_key = ?", (key,)
+        ).fetchone()
+        return row is not None
+
+    # -- ingest ----------------------------------------------------------------------
+
+    def ingest(self, key: str, payload: dict) -> None:
+        """Index one cache entry (idempotent; re-ingest overwrites)."""
+        point = payload.get("point") or {}
+        kind = _infer_kind(payload)
+        scalars = flatten_scalars(payload)
+        axes = {
+            "kind": kind,
+            "cell_type": point.get("cell_type"),
+            "vprech": point.get("vprech"),
+            "node": point.get("node"),
+            "corner": point.get("corner"),
+            "engine": point.get("engine"),
+            "quality": point.get("quality"),
+            "seed": point.get("seed"),
+            "sample_images": point.get("sample_images"),
+            "bit_error_rate": point.get("bit_error_rate"),
+            "trials": point.get("trials"),
+            "trial_start": point.get("trial_start"),
+            "fingerprint": payload.get("fingerprint"),
+        }
+        columns = ["cache_key", *axes, "created_s", "point_json",
+                   "scalars_json"]
+        values = [key, *axes.values(), float(self._clock()),
+                  json.dumps(point, sort_keys=True),
+                  json.dumps(scalars, sort_keys=True)]
+        placeholders = ", ".join("?" for _ in columns)
+        self._conn.execute(
+            f"INSERT OR REPLACE INTO entries ({', '.join(columns)}) "
+            f"VALUES ({placeholders})",
+            values,
+        )
+        self._conn.commit()
+
+    def backfill(self, cache_root) -> int:
+        """Index every unseen entry of a cache directory; returns added.
+
+        Skips keys already indexed (double backfill adds zero rows) and
+        unreadable/corrupt files (those are the cache's problem — its
+        ``get`` quarantines them on first read).
+        """
+        root = pathlib.Path(cache_root)
+        added = 0
+        for path in sorted(root.glob("*/*.json")):
+            key = path.stem
+            if key in self:
+                continue
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if not isinstance(payload, dict):
+                continue
+            self.ingest(key, payload)
+            added += 1
+        return added
+
+    # -- queries ---------------------------------------------------------------------
+
+    def _where(self, filters: dict) -> tuple[str, list]:
+        clauses, params = [], []
+        for name, value in filters.items():
+            name = AXIS_ALIASES.get(name, name)
+            if name != "cache_key" and name not in AXIS_COLUMNS:
+                raise ConfigurationError(
+                    f"unknown store axis {name!r}; queryable: "
+                    + ", ".join(("cache_key", *AXIS_COLUMNS))
+                )
+            if value is None:
+                continue
+            clauses.append(f"{name} = ?")
+            params.append(value)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        return where, params
+
+    def filter(self, **filters) -> list[StoreRecord]:
+        """Indexed rows matching every given axis, newest-first stable.
+
+        Axes are exact matches (``kind="sweep"``, ``cell_type="6T"``,
+        ``node="3nm"``, ``bit_error_rate=1e-3``, ...); aliases
+        ``cell``/``ber``/``key`` are accepted.  No filters returns
+        everything.
+        """
+        where, params = self._where(filters)
+        rows = self._conn.execute(
+            "SELECT cache_key, kind, fingerprint, created_s, point_json, "
+            f"scalars_json FROM entries{where} "
+            "ORDER BY created_s DESC, cache_key",
+            params,
+        ).fetchall()
+        return [
+            StoreRecord(
+                cache_key=key, kind=kind, fingerprint=fingerprint,
+                created_s=created_s, point=json.loads(point_json),
+                scalars=json.loads(scalars_json),
+            )
+            for key, kind, fingerprint, created_s, point_json, scalars_json
+            in rows
+        ]
+
+    def aggregate(self, scalar: str, *, by=("cell_type",),
+                  **filters) -> dict[tuple, Aggregate]:
+        """Fold one dotted scalar over grouping axes.
+
+        Returns ``{group values tuple: Aggregate}`` for every group
+        (ordered by group) whose rows carry the scalar; rows without it
+        are skipped, so mixed-kind stores aggregate cleanly.
+        """
+        by = tuple(AXIS_ALIASES.get(name, name) for name in by)
+        groups: dict[tuple, list[float]] = {}
+        for record in self.filter(**filters):
+            value = record.scalars.get(scalar)
+            if value is None:
+                continue
+            group = tuple(record.axis(name) for name in by)
+            groups.setdefault(group, []).append(value)
+        return {
+            group: Aggregate(
+                n=len(values), mean=sum(values) / len(values),
+                min=min(values), max=max(values),
+            )
+            for group, values in sorted(
+                groups.items(), key=lambda item: tuple(map(str, item[0]))
+            )
+        }
+
+    def kinds(self) -> dict[str, int]:
+        """Entry count per kind (``{"sweep": 40, "reliability": 12}``)."""
+        rows = self._conn.execute(
+            "SELECT kind, COUNT(*) FROM entries GROUP BY kind ORDER BY kind"
+        ).fetchall()
+        return dict(rows)
+
+    def to_csv(self, path, **filters) -> pathlib.Path:
+        """Flat CSV export of matching rows: axes + union of scalars."""
+        records = self.filter(**filters)
+        scalar_names = sorted({
+            name for record in records for name in record.scalars
+        })
+        out = pathlib.Path(path)
+        with out.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                ["cache_key", "created_s", *AXIS_COLUMNS, *scalar_names]
+            )
+            for record in records:
+                axes = [
+                    record.kind if name == "kind"
+                    else record.fingerprint if name == "fingerprint"
+                    else record.point.get(name)
+                    for name in AXIS_COLUMNS
+                ]
+                writer.writerow(
+                    [record.cache_key, record.created_s, *axes]
+                    + [record.scalars.get(name) for name in scalar_names]
+                )
+        return out
+
+    def summary(self, *, recent: int = 12) -> dict:
+        """Roll-up for dashboards: totals per kind plus recent entries."""
+        records = self.filter()
+        by_kind: dict[str, dict] = {}
+        for record in records:
+            bucket = by_kind.setdefault(record.kind, {
+                "entries": 0, "cells": set(), "nodes": set(),
+                "corners": set(), "newest_s": record.created_s,
+            })
+            bucket["entries"] += 1
+            for attr, name in (("cells", "cell_type"), ("nodes", "node"),
+                               ("corners", "corner")):
+                value = record.point.get(name)
+                if value is not None:
+                    bucket[attr].add(value)
+            bucket["newest_s"] = max(bucket["newest_s"], record.created_s)
+        return {
+            "total": len(records),
+            "kinds": {
+                kind: {
+                    "entries": bucket["entries"],
+                    "cells": sorted(bucket["cells"]),
+                    "nodes": sorted(bucket["nodes"]),
+                    "corners": sorted(bucket["corners"]),
+                    "newest_s": bucket["newest_s"],
+                }
+                for kind, bucket in sorted(by_kind.items())
+            },
+            "recent": [
+                {
+                    "kind": record.kind,
+                    "label": record.label,
+                    "created_s": record.created_s,
+                    "scalars": len(record.scalars),
+                }
+                for record in records[:recent]
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.path)!r}, entries={len(self)})"
+
+
+def render_records(records: list[StoreRecord], *,
+                   scalars: list[str] | None = None) -> str:
+    """Plain-text table of store records (the ``--query`` output).
+
+    ``scalars`` picks the value columns; by default the three scalar
+    names most common across the records are shown.
+    """
+    if not records:
+        return "store: no matching rows"
+    if scalars is None:
+        counts: dict[str, int] = {}
+        for record in records:
+            for name in record.scalars:
+                counts[name] = counts.get(name, 0) + 1
+        scalars = [
+            name for name, _ in sorted(
+                counts.items(), key=lambda item: (-item[1], item[0])
+            )[:3]
+        ]
+    headers = ["kind", "cell", "vprech", "node", "corner", "engine",
+               "ber", "images", *scalars]
+    rows = []
+    for record in records:
+        axes = [
+            record.kind,
+            record.axis("cell"), record.axis("vprech"), record.axis("node"),
+            record.axis("corner"), record.axis("engine"), record.axis("ber"),
+            record.axis("sample_images"),
+        ]
+        values = [record.scalars.get(name) for name in scalars]
+        rows.append([
+            "-" if value is None
+            else f"{value:.6g}" if isinstance(value, float)
+            else str(value)
+            for value in axes + values
+        ])
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(header.ljust(widths[i])
+                  for i, header in enumerate(headers)).rstrip(),
+        "  ".join("-" * width for width in widths),
+    ]
+    lines.extend(
+        "  ".join(cell.ljust(widths[i])
+                  for i, cell in enumerate(row)).rstrip()
+        for row in rows
+    )
+    lines.append(f"{len(records)} row{'s' if len(records) != 1 else ''}")
+    return "\n".join(lines)

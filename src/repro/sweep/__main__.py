@@ -8,6 +8,8 @@ Examples::
     python -m repro.sweep figure8 --claims --no-cache
     python -m repro.sweep corners --claims
     python -m repro.sweep figure8 --node 5nm --corner slow
+    python -m repro.sweep figure8 --executor job-dir --job-dir /shared/j1
+    python -m repro.sweep --query "cell=1RW+4R,node=3nm"
 
 Hardware scalars come from the shared config surface (``--config`` /
 ``--cell`` / ``--vprech`` / ``--node`` / ``--corner``, see
@@ -22,6 +24,12 @@ the cache (and journaled) as it completes, so Ctrl-C flushes partial
 results, prints a resume hint and exits 130.  ``--resume`` reports the
 journal state before re-running — only unfinished points are
 evaluated, finished ones are cache hits (zero recomputation).
+
+Cached results are also indexed into the SQLite result store beside
+the cache (``--no-store`` opts out): ``--query "cell=6T,node=3nm"``
+answers from past runs with zero re-evaluation, and ``--executor
+job-dir --job-dir DIR`` shards misses across work-stealing claimant
+processes instead of the local pool (see :mod:`repro.store`).
 """
 
 from __future__ import annotations
@@ -41,6 +49,12 @@ from repro.hw.cli import (
 )
 from repro.learning.pretrained import QUALITY_PRESETS
 from repro.resilience.cli import print_interrupted, report_resume
+from repro.store.cli import (
+    add_campaign_arguments,
+    executor_from_args,
+    open_store,
+    run_query,
+)
 from repro.sweep.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.sweep.runner import SweepRunner
 from repro.sweep.spec import NAMED_SWEEPS
@@ -99,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--claims", action="store_true",
         help="also print the headline claims derived from the rows",
     )
+    add_campaign_arguments(parser)
     # The cell option is a swept axis for every named sweep, so only
     # the scalar hardware flags are exposed here.
     add_hardware_arguments(parser, cell=False)
@@ -120,8 +135,18 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name:10s} {len(spec):3d} points  "
                   f"({NAMED_SWEEPS[name].__doc__.splitlines()[0]})")
         return 0
+    if args.query is not None:
+        if args.no_cache:
+            parser.error("--query answers from the cache's result store; "
+                         "drop --no-cache")
+        cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+        try:
+            return run_query(cache, "sweep", args.query, csv_path=args.csv)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
     if args.sweep is None:
-        parser.error("a sweep name (or --list) is required")
+        parser.error("a sweep name, --list or --query is required")
 
     try:
         hardware = hardware_from_args(args, seed=args.seed)
@@ -153,18 +178,27 @@ def main(argv: list[str] | None = None) -> int:
         cache: ResultCache | None = None
     else:
         cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+        if not args.no_store:
+            cache.store = open_store(cache)
 
     try:
-        runner = SweepRunner(spec, n_workers=args.workers, cache=cache)
+        runner = SweepRunner(
+            spec, n_workers=args.workers, cache=cache,
+            executor=executor_from_args(args),
+        )
         if args.resume:
             report_resume(runner, "sweep")
         with ObservabilityScope(args):
             result = runner.run()
     except KeyboardInterrupt:
-        return print_interrupted("python -m repro.sweep", argv)
+        return print_interrupted("python -m repro.sweep", argv,
+                                 cached=cache is not None)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        if cache is not None and cache.store is not None:
+            cache.store.close()
 
     print(result.render())
     if args.claims:

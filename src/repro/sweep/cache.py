@@ -31,6 +31,7 @@ import json
 import os
 import pathlib
 import tempfile
+import time
 
 import numpy as np
 
@@ -51,6 +52,11 @@ CACHE_VERSION = 3
 DEFAULT_CACHE_DIR = (
     pathlib.Path(__file__).resolve().parents[3] / ".artifacts" / "sweep_cache"
 )
+
+#: Age beyond which a stranded ``*.tmp`` sibling (a hard-killed writer:
+#: chaos ``os._exit``, SIGKILL, power loss) is presumed dead and
+#: garbage-collected.  Healthy writes hold a tmp file for milliseconds.
+DEFAULT_TMP_MAX_AGE_S = 3600.0
 
 
 def weights_fingerprint(snn: ConvertedSNN) -> str:
@@ -95,24 +101,50 @@ def point_key(point: DesignPoint, fingerprint: str) -> str:
 
 
 class ResultCache:
-    """Directory of evaluated design points, one JSON file per key."""
+    """Directory of evaluated design points, one JSON file per key.
 
-    def __init__(self, root: pathlib.Path | str | None = None) -> None:
+    ``store`` optionally attaches a
+    :class:`~repro.store.index.ResultStore` (duck-typed: anything with
+    an ``ingest(key, row)`` method): every successful :meth:`put` is
+    then indexed the moment the JSON lands, which is how campaign CLIs
+    keep the queryable store incrementally up to date.  Opening a cache
+    also garbage-collects ``*.tmp`` siblings older than
+    ``tmp_max_age_s`` — leftovers of hard-killed writers that an
+    in-process ``except`` can never clean up (pass ``None`` to skip).
+    """
+
+    def __init__(self, root: pathlib.Path | str | None = None, *,
+                 store=None,
+                 tmp_max_age_s: float | None = DEFAULT_TMP_MAX_AGE_S,
+                 ) -> None:
         self.root = pathlib.Path(root) if root is not None else DEFAULT_CACHE_DIR
+        self.store = store
+        if tmp_max_age_s is not None and self.root.exists():
+            self.gc_stale_tmp(max_age_s=tmp_max_age_s)
 
     def path(self, key: str) -> pathlib.Path:
         """File backing ``key`` (two-level fan-out keeps dirs small)."""
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> dict | None:
-        """The stored row dict, or ``None`` on a miss or unreadable file."""
+        """The stored row dict, or ``None`` on a miss or unreadable file.
+
+        A corrupt entry (torn write that still got renamed, disk
+        damage) is quarantined — renamed to ``<name>.json.corrupt`` —
+        so neither future reads nor the store's backfill scanner can
+        re-ingest the garbage; the key simply misses until re-evaluated.
+        """
         path = self.path(key)
-        if not path.exists():
-            return None
         try:
             with path.open() as handle:
                 return json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError:
+            with contextlib.suppress(OSError):
+                os.replace(path, path.with_name(path.name + ".corrupt"))
+            return None
+        except OSError:
             return None
 
     def put(self, key: str, row: dict) -> pathlib.Path:
@@ -136,7 +168,33 @@ class ResultCache:
             with contextlib.suppress(OSError):
                 os.unlink(tmp_name)
             raise
+        if self.store is not None:
+            self.store.ingest(key, row)
         return path
+
+    def gc_stale_tmp(self, *, max_age_s: float = DEFAULT_TMP_MAX_AGE_S,
+                     clock=time.time) -> int:
+        """Remove ``*.tmp`` leftovers older than ``max_age_s``.
+
+        ``put``'s in-process exception handler unlinks its tmp sibling,
+        but a hard-killed writer (chaos ``os._exit``, SIGKILL) strands
+        the file forever; this sweep reclaims them.  The age threshold
+        keeps in-flight writes of live concurrent writers safe — they
+        hold a tmp file for milliseconds, not hours.  Returns how many
+        files were removed.
+        """
+        if not self.root.exists():
+            return 0
+        cutoff = clock() - max_age_s
+        removed = 0
+        for tmp in self.root.glob("*/*.tmp"):
+            try:
+                if tmp.stat().st_mtime <= cutoff:
+                    tmp.unlink()
+                    removed += 1
+            except OSError:
+                continue
+        return removed
 
     def __contains__(self, key: str) -> bool:
         return self.path(key).exists()

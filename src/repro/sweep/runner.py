@@ -11,9 +11,10 @@ three sources, in order:
    :class:`~repro.system.evaluate.SystemEvaluator` (in-process only),
    which is how ``SystemEvaluator.figure8()`` routes through the sweep
    engine without changing behaviour;
-3. **worker shards** — ``concurrent.futures.ProcessPoolExecutor`` over
-   the cache misses when ``n_workers > 1``, or a plain in-process loop
-   otherwise.
+3. **executor shards** — the cache misses run on a pluggable executor
+   (:mod:`repro.store.executors`): the default local pool (a plain
+   in-process loop for ``n_workers == 1``, ``ProcessPoolExecutor``
+   shards above that) or the work-stealing job-dir backend.
 
 Because every :class:`DesignPoint` carries its own seed and the
 evaluation builds a fresh network per point, results are bit-identical
@@ -24,17 +25,11 @@ historical serial ``figure8()`` loop, float for float.
 
 from __future__ import annotations
 
-import concurrent.futures
 import inspect
-import multiprocessing
-import os
 import pathlib
-import sys
-import threading
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
-from repro.errors import ConfigurationError, WorkerCrashError
+from repro.errors import ConfigurationError
 from repro.learning.convert import ConvertedSNN
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
@@ -42,6 +37,18 @@ from repro.learning.pretrained import get_reference_model
 from repro.resilience.chaos import ChaosPolicy
 from repro.resilience.journal import CampaignJournal, run_id_for
 from repro.resilience.policy import SupervisorPolicy
+# The supervised sharding machinery lives in repro.store.executors now
+# (it is executor plumbing, not sweep logic); re-exported here because
+# this module was its historical home.
+from repro.store.executors import (  # noqa: F401 — re-exports
+    LocalPoolExecutor,
+    _supervised_call,
+    _supervised_pool,
+    _supervised_serial,
+    _supervised_task,
+    _watchdog_kill,
+    shard_map,
+)
 from repro.system.config import SystemConfig
 from repro.system.energy import SystemMetrics
 from repro.system.evaluate import SystemEvaluator
@@ -108,196 +115,14 @@ def _evaluate_task(payload: tuple[DesignPoint, ConvertedSNN | None],
 
 # -- generic sharded-cache machinery -------------------------------------------------
 #
-# The satisfy-from-cache-then-evaluate-misses loop and the process-pool
-# sharding are not sweep-specific: the reliability campaign runner
+# The satisfy-from-cache-then-evaluate-misses loop is not
+# sweep-specific: the reliability campaign runner
 # (:mod:`repro.reliability.runner`) executes fault points through the
-# exact same cache discipline.  Both runners compose these two
-# functions, so the determinism contract — bit-identical results for
-# any worker count, corrupt entry == miss, parent-side hit accounting —
+# exact same cache discipline, and both runners hand their misses to a
+# pluggable executor (:mod:`repro.store.executors`) — so the
+# determinism contract — bit-identical results for any worker count or
+# executor backend, corrupt entry == miss, parent-side hit accounting —
 # is implemented once.
-
-
-def _watchdog_kill(site, watchdog_s: float) -> None:
-    """Worker-side watchdog action: a hung point becomes a crash.
-
-    ``os._exit`` is deliberate — the point is wedged, so the only safe
-    recovery is the supervisor's crash path (rebuild the pool, charge
-    the point's retry budget).  The write to stderr survives because
-    worker stderr is inherited from the parent.
-    """
-    sys.stderr.write(
-        f"\nrepro: shard watchdog fired — payload {site} exceeded "
-        f"{watchdog_s:g}s; killing worker so the supervisor can retry\n"
-    )
-    sys.stderr.flush()
-    os._exit(87)
-
-
-def _supervised_call(task, payload, chaos: ChaosPolicy | None, site,
-                     attempt: int, watchdog_s: float | None):
-    """Run one payload under the chaos schedule and wall-clock watchdog."""
-    if chaos is not None:
-        chaos.maybe_crash_worker(site, attempt)
-    timer = None
-    if (watchdog_s is not None
-            and multiprocessing.parent_process() is not None):
-        timer = threading.Timer(
-            watchdog_s, _watchdog_kill, args=(site, watchdog_s)
-        )
-        timer.daemon = True
-        timer.start()
-    try:
-        return task(payload)
-    finally:
-        if timer is not None:
-            timer.cancel()
-
-
-def _supervised_task(args):
-    """Module-level worker entry point for supervised shards."""
-    return _supervised_call(*args)
-
-
-def _supervised_serial(task, payloads: list, policy: SupervisorPolicy,
-                       chaos: ChaosPolicy | None, on_done) -> list:
-    """In-process supervised loop (``n_workers == 1``).
-
-    Chaos worker crashes degrade to :class:`WorkerCrashError` here
-    (killing the only process would kill the campaign), and the
-    supervisor handles them identically: bounded re-queue, then give
-    up naming the payload.  The watchdog does not apply in-process.
-    """
-    results = [None] * len(payloads)
-    budgets = {i: policy.retry_budget for i in range(len(payloads))}
-    queue = [(i, 0) for i in range(len(payloads))]
-    while queue:
-        index, attempt = queue.pop(0)
-        try:
-            result = _supervised_call(
-                task, payloads[index], chaos, index, attempt, None
-            )
-        except WorkerCrashError:
-            budgets[index] -= 1
-            if budgets[index] < 0:
-                raise WorkerCrashError(
-                    f"shard payload {index} crashed beyond the retry "
-                    f"budget ({policy.retry_budget} retries)"
-                ) from None
-            queue.append((index, attempt + 1))
-            continue
-        results[index] = result
-        if on_done is not None:
-            on_done(index, result)
-    return results
-
-
-def _supervised_pool(task, payloads: list, n_workers: int,
-                     policy: SupervisorPolicy, chaos: ChaosPolicy | None,
-                     on_done) -> list:
-    """Process-pool execution that survives ``BrokenProcessPool``.
-
-    Each payload is submitted individually; when a worker dies (real
-    crash, watchdog kill, or injected chaos) the broken pool is torn
-    down, a fresh one is built, and every unfinished payload is
-    re-queued.  Retry budgets are charged to the *culprit* when the
-    chaos schedule can name it (the schedule is deterministic, so the
-    parent recomputes who was due to crash); an unattributable crash
-    charges every unfinished payload — bounded either way.  Completed
-    payloads are reported through ``on_done`` as they finish, in
-    completion order, while ``results`` stay in input order.
-    """
-    results = [None] * len(payloads)
-    attempts = {i: 0 for i in range(len(payloads))}
-    budgets = {i: policy.retry_budget for i in range(len(payloads))}
-    remaining = set(range(len(payloads)))
-    while remaining:
-        workers = min(n_workers, len(remaining))
-        pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
-        futures = {
-            pool.submit(
-                _supervised_task,
-                (task, payloads[i], chaos, i, attempts[i],
-                 policy.watchdog_s),
-            ): i
-            for i in sorted(remaining)
-        }
-        crashed: list[int] = []
-        try:
-            for future in concurrent.futures.as_completed(futures):
-                index = futures[future]
-                try:
-                    result = future.result()
-                except BrokenProcessPool:
-                    crashed.append(index)
-                    continue
-                results[index] = result
-                remaining.discard(index)
-                if on_done is not None:
-                    on_done(index, result)
-        finally:
-            pool.shutdown(wait=False, cancel_futures=True)
-        if not crashed:
-            continue
-        if chaos is not None and chaos.active:
-            culprits = [
-                i for i in crashed
-                if chaos.should_crash_worker(i, attempts[i])
-            ]
-            if not culprits:  # a real (non-injected) crash under chaos
-                culprits = crashed
-        else:
-            culprits = crashed
-        for index in culprits:
-            budgets[index] -= 1
-            if budgets[index] < 0:
-                raise WorkerCrashError(
-                    f"shard payload {index} crashed/hung beyond the retry "
-                    f"budget ({policy.retry_budget} retries)"
-                )
-            attempts[index] += 1
-    return results
-
-
-def shard_map(task, payloads: list, n_workers: int, *,
-              supervisor: SupervisorPolicy | None = None,
-              chaos: ChaosPolicy | None = None,
-              on_done=None) -> list:
-    """``[task(p) for p in payloads]``, optionally across processes.
-
-    ``task`` must be a module-level (picklable) callable when
-    ``n_workers > 1``.  Results come back in input order, so callers
-    are bit-identical for any worker count by construction.
-
-    Supervision (any of ``supervisor``, an active ``chaos`` policy, or
-    an ``on_done`` callback) switches to per-payload submission with
-    crash recovery: worker deaths re-queue the unfinished payloads to a
-    rebuilt pool under a bounded retry budget, a hung payload is killed
-    by the worker-side watchdog and retried the same way, and
-    ``on_done(index, result)`` fires in the parent as each payload
-    completes (this is what makes campaign caching incremental, hence
-    crash-safe).  Because tasks are pure functions of their payloads,
-    re-execution cannot change any result — supervised runs stay
-    bit-identical to fault-free ones.
-    """
-    if n_workers < 1:
-        raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
-    chaos_active = chaos is not None and chaos.active
-    plain = supervisor is None and not chaos_active and on_done is None
-    if n_workers == 1 or len(payloads) <= 1:
-        if plain:
-            return [task(payload) for payload in payloads]
-        return _supervised_serial(
-            task, payloads, supervisor or SupervisorPolicy(),
-            chaos if chaos_active else None, on_done,
-        )
-    if plain:
-        workers = min(n_workers, len(payloads))
-        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(task, payloads))
-    return _supervised_pool(
-        task, payloads, n_workers, supervisor or SupervisorPolicy(),
-        chaos if chaos_active else None, on_done,
-    )
 
 
 def _accepts_on_done(evaluate) -> bool:
@@ -344,6 +169,12 @@ def run_cached_points(points: list, *, cache: ResultCache | None,
     — partial results are already cached, so a ``--resume`` re-run
     recomputes nothing that finished.
 
+    ``journal_dir`` without a ``cache`` is rejected outright: the
+    journal's whole promise is that a point marked done is durably
+    committed, and a cacheless run commits nothing — silently dropping
+    the journal (the historical behaviour) made ``--no-cache`` runs
+    look resumable when they were not.
+
     Observability: cache hits/misses are also counted into the process
     metric registry (``repro_cache_{hits,misses}_total{kind=...}`` —
     the registry is cross-campaign where :class:`SweepStats` is
@@ -354,6 +185,12 @@ def run_cached_points(points: list, *, cache: ResultCache | None,
     completion in the parent process — with worker shards that is
     completion cadence, not worker-side compute time.
     """
+    if journal_dir is not None and cache is None:
+        raise ConfigurationError(
+            "journal_dir without a cache: the journal marks points as "
+            "durably committed, which a cacheless run cannot honour — "
+            "pass a cache or drop journal_dir"
+        )
     tracer = get_tracer()
     stats = SweepStats()
     rows: list = [None] * len(points)
@@ -482,6 +319,13 @@ class SweepRunner:
         (``<cache root>/journal/``) so interrupted runs resume with
         zero recomputation; ``False`` disables journaling.  Ignored
         without a cache.
+    executor:
+        Optional executor backend (see :mod:`repro.store.executors`,
+        e.g. :class:`~repro.store.executors.JobDirExecutor`) that
+        evaluates the cache misses instead of the default local pool
+        built from ``n_workers``.  Results are bit-identical across
+        backends — points are self-seeded pure functions — so the
+        choice is purely about where the work runs.
     """
 
     def __init__(self, spec: SweepSpec, *, n_workers: int = 1,
@@ -490,7 +334,8 @@ class SweepRunner:
                  evaluator: SystemEvaluator | None = None,
                  supervisor: SupervisorPolicy | None = None,
                  chaos: ChaosPolicy | None = None,
-                 journal: bool = True) -> None:
+                 journal: bool = True,
+                 executor=None) -> None:
         if n_workers < 1:
             raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
         if evaluator is not None and snn is not None:
@@ -499,6 +344,11 @@ class SweepRunner:
             raise ConfigurationError(
                 "an injected evaluator cannot be sharded across processes; "
                 "use n_workers=1 or let the runner build its own evaluators"
+            )
+        if evaluator is not None and executor is not None:
+            raise ConfigurationError(
+                "an injected evaluator is in-process only and cannot run "
+                "under a custom executor"
             )
         if evaluator is not None:
             # An injected evaluator brings its own spike sample (its
@@ -527,6 +377,7 @@ class SweepRunner:
         self._evaluator = evaluator
         self.supervisor = supervisor
         self.chaos = chaos
+        self.executor = executor
         self._journal_enabled = bool(journal)
 
     # -- internals -------------------------------------------------------------------
@@ -594,11 +445,12 @@ class SweepRunner:
                 if on_done is not None:
                     on_done(position, row)
             return rows
+        executor = self.executor or LocalPoolExecutor(self.n_workers)
         # Pre-warm the trained-model caches in the parent: on
         # fork-based platforms the workers inherit the in-memory
         # model; elsewhere they hit the .npz disk cache instead of
         # re-training.
-        if self._snn is None and self.n_workers > 1 and len(points) > 1:
+        if self._snn is None and executor.uses_processes and len(points) > 1:
             for model_key in {(p.quality, p.seed) for p in points}:
                 get_reference_model(*model_key)
         row_cache: dict[int, SweepRow] = {}
@@ -611,9 +463,9 @@ class SweepRunner:
             if on_done is not None:
                 on_done(position, row)
 
-        metrics = shard_map(
+        metrics = executor.map(
             _evaluate_task, [(p, self._snn) for p in points],
-            self.n_workers, supervisor=self.supervisor, chaos=self.chaos,
+            supervisor=self.supervisor, chaos=self.chaos,
             on_done=metrics_done,
         )
         return [
@@ -630,14 +482,22 @@ class SweepRunner:
         if self.cache is not None:
             fingerprints = self._fingerprints(points)
             key_fn = lambda point: point_key(point, fingerprints[point])  # noqa: E731
+            # kind + fingerprint travel inside the stored JSON so the
+            # result store can index an entry without recomputing
+            # hashes; from_dict ignores the extra keys on reload.
+            dump_row = lambda row: {  # noqa: E731
+                **row.to_dict(), "kind": "sweep",
+                "fingerprint": fingerprints[row.point],
+            }
         else:
             key_fn = None
+            dump_row = lambda row: row.to_dict()  # noqa: E731
         rows, stats = run_cached_points(
             points,
             cache=self.cache,
             key_fn=key_fn,
             load_row=lambda data: SweepRow.from_dict(data, cached=True),
-            dump_row=lambda row: row.to_dict(),
+            dump_row=dump_row,
             evaluate=self._evaluate_misses,
             journal_dir=self.journal_dir,
             kind="sweep",

@@ -29,10 +29,27 @@ def backend(request) -> str:
     return request.param
 
 
+@pytest.fixture()
+def result_store(tmp_path):
+    """A fresh, empty result store in this test's tmp directory.
+
+    Tests using it are auto-marked ``store`` — see pytest.ini and
+    ``pytest_collection_modifyitems`` below (the ``backend`` pattern).
+    """
+    from repro.store import ResultStore
+
+    store = ResultStore(tmp_path / "store.sqlite")
+    yield store
+    store.close()
+
+
 def pytest_collection_modifyitems(items) -> None:
     for item in items:
-        if "backend" in getattr(item, "fixturenames", ()):
+        fixtures = getattr(item, "fixturenames", ())
+        if "backend" in fixtures:
             item.add_marker(pytest.mark.backend)
+        if "result_store" in fixtures:
+            item.add_marker(pytest.mark.store)
 
 
 @pytest.fixture(scope="session")

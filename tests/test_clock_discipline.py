@@ -16,7 +16,10 @@ Allowlisted subtrees (the designated clock owners):
 * ``repro/resilience/`` — retry backoff and chaos schedules own their
   injectable-clock defaults and real-sleep fallbacks;
 * ``repro/serve/`` — the server/batcher clock plumbing plus the load
-  generator, which paces arrivals against real wall clock by design.
+  generator, which paces arrivals against real wall clock by design;
+* ``repro/store/`` — the result store stamps each ingested entry with
+  a real creation time (``created_s`` is provenance, not simulation
+  state), and the job-dir executor paces its claim polling.
 
 Benchmarks and tests are out of scope: benchmarks measure wall clock
 by definition, and tests inject fake clocks through the same seams
@@ -38,7 +41,7 @@ CLOCK_CALLS = frozenset({
 })
 
 #: Subtrees (relative to ``src/repro``) allowed to read real clocks.
-ALLOWED_SUBTREES = ("obs", "resilience", "serve")
+ALLOWED_SUBTREES = ("obs", "resilience", "serve", "store")
 
 #: Modules *inside* an allowed subtree that must stay clock-free
 #: anyway.  The fleet's shared-memory data plane is pure layout and
